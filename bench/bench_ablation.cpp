@@ -1,0 +1,89 @@
+// Design-choice ablations called out in DESIGN.md:
+//   1. sliding-window size (the paper "set the time window as 100 ms
+//      empirically" — we sweep it);
+//   2. hierarchical (category -> app) vs flat 9-way Random Forest;
+//   3. forest size (the paper fixes 100 trees).
+#include <cstdio>
+
+#include "attacks/collect.hpp"
+#include "attacks/pipeline.hpp"
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "ml/importance.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace ltefp;
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
+
+  // One shared pool of raw traces, re-windowed per ablation point.
+  attacks::CollectConfig collect;
+  collect.op = lte::Operator::kTmobile;
+  collect.duration = scale.trace_duration;
+  collect.seed = 3333;
+  std::vector<attacks::CollectedTrace> traces;
+  for (const apps::AppId app : apps::kAllApps) {
+    for (auto& t : attacks::collect_traces(app, scale.traces_per_app, collect)) {
+      traces.push_back(std::move(t));
+    }
+  }
+
+  // --- 1. Window-size sweep.
+  TextTable window_table({"Window (ms)", "Windows", "Weighted F", "Accuracy"});
+  for (const TimeMs window_ms : {25, 50, 100, 200, 400, 1000}) {
+    features::WindowConfig window;
+    window.window_ms = window_ms;
+    const features::Dataset data = attacks::dataset_from_traces(traces, window);
+    Rng rng(7);
+    auto [train, test] = features::train_test_split(data, 0.8, rng);
+    attacks::PipelineConfig config;
+    config.window_ms = window_ms;
+    attacks::FingerprintPipeline pipeline(config);
+    pipeline.train(train);
+    const ml::ConfusionMatrix cm = pipeline.evaluate(test);
+    window_table.add_row({std::to_string(window_ms), std::to_string(data.size()),
+                          fmt(cm.weighted_f_score()), fmt(cm.accuracy())});
+  }
+  std::printf("%s", window_table.render("Ablation 1 - sliding-window size").c_str());
+
+  // --- 2. Hierarchical vs flat, and 3. tree count, on the 100 ms windows.
+  const features::Dataset data = attacks::dataset_from_traces(traces, features::WindowConfig{});
+  Rng rng(8);
+  auto [train, test] = features::train_test_split(data, 0.8, rng);
+
+  TextTable model_table({"Model", "Weighted F", "Accuracy"});
+  {
+    attacks::FingerprintPipeline hierarchical{attacks::PipelineConfig{}};
+    hierarchical.train(train);
+    const auto cm = hierarchical.evaluate(test);
+    model_table.add_row({"hierarchical RF (category->app)", fmt(cm.weighted_f_score()),
+                         fmt(cm.accuracy())});
+  }
+  for (const int trees : {10, 50, 100, 200}) {
+    ml::RandomForest flat(ml::ForestConfig{.num_trees = trees});
+    flat.fit(train);
+    ml::ConfusionMatrix cm(apps::kNumApps);
+    for (const auto& s : test.samples) cm.add(s.label, flat.predict(s.features));
+    model_table.add_row({"flat 9-way RF, " + std::to_string(trees) + " trees",
+                         fmt(cm.weighted_f_score()), fmt(cm.accuracy())});
+  }
+  std::printf("%s", model_table.render("Ablations 2+3 - classifier structure").c_str());
+
+  // --- 4. Which Table-II features carry the fingerprint?
+  {
+    ml::RandomForest rf(ml::ForestConfig{.num_trees = 60});
+    rf.fit(train);
+    features::Dataset probe = test;
+    if (probe.samples.size() > 1500) probe.samples.resize(1500);
+    const auto ranked = ml::permutation_importance(rf, probe, 2, 99);
+    TextTable importance_table({"Rank", "Feature", "Accuracy drop when permuted"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, ranked.size()); ++i) {
+      importance_table.add_row({std::to_string(i + 1), ranked[i].name,
+                                fmt(ranked[i].importance)});
+    }
+    std::printf("%s",
+                importance_table.render("Ablation 4 - permutation feature importance").c_str());
+  }
+  return 0;
+}

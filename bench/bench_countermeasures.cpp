@@ -1,0 +1,120 @@
+// Ablation of the paper's proposed countermeasures (Section VIII-B) and
+// the 5G SUCI discussion (Section VIII-C):
+//
+//  - frequent C-RNTI reassignment -> breaks trace continuity (the sniffer
+//    loses the victim at every re-key);
+//  - layer-2 traffic morphing (TBS padding ladder) -> hides frame sizes at
+//    a radio-resource overhead cost, as the paper cautions;
+//  - chaff grants -> blur activity patterns;
+//  - SUCI-style identity concealment -> kills passive identity mapping
+//    outright.
+//
+// For each defence we report what the attacker still captures and whether
+// whole-trace app identification survives, plus the defence's byte
+// overhead on the air.
+#include <cstdio>
+
+#include "attacks/collect.hpp"
+#include "attacks/pipeline.hpp"
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace ltefp;
+
+namespace {
+
+struct Condition {
+  const char* name;
+  lte::CountermeasureConfig countermeasures;
+  bool conceal_identity = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const bench::Scale scale = bench::scale_for(quick);
+
+  // Attacker trains on the *undefended* network — a defence deployed later
+  // must defeat an already-fitted classifier.
+  attacks::PipelineConfig config;
+  config.op = lte::Operator::kLab;
+  config.traces_per_app = scale.traces_per_app;
+  config.trace_duration = quick ? minutes(1) : minutes(3);
+  config.seed = 2222;
+  std::printf("Training attacker on the undefended cell...\n");
+  attacks::FingerprintPipeline pipeline(config);
+  pipeline.train(attacks::build_dataset(config));
+
+  std::vector<Condition> conditions;
+  conditions.push_back({"baseline (no defence)", {}, false});
+  {
+    lte::CountermeasureConfig c;
+    c.rnti_rekey_period = seconds(5);
+    conditions.push_back({"RNTI re-key every 5 s", c, false});
+  }
+  {
+    lte::CountermeasureConfig c;
+    c.rnti_rekey_period = seconds(1);
+    conditions.push_back({"RNTI re-key every 1 s", c, false});
+  }
+  {
+    lte::CountermeasureConfig c;
+    c.pad_to_bytes = 256;
+    conditions.push_back({"pad TBS to 256 B ladder", c, false});
+  }
+  {
+    lte::CountermeasureConfig c;
+    c.pad_to_bytes = 1024;
+    conditions.push_back({"pad TBS to 1024 B ladder", c, false});
+  }
+  {
+    lte::CountermeasureConfig c;
+    c.dummy_grant_rate = 0.05;
+    conditions.push_back({"5% chaff grants", c, false});
+  }
+  conditions.push_back({"5G SUCI concealment", {}, true});
+
+  const apps::AppId probes[] = {apps::AppId::kYoutube, apps::AppId::kWhatsApp,
+                                apps::AppId::kSkype};
+  TextTable table({"Defence", "Captured records", "Capture vs baseline", "Apps identified",
+                   "Mean vote confidence", "Bytes on air vs baseline"});
+
+  double baseline_records = 0.0;
+  double baseline_bytes = 0.0;
+  for (const Condition& condition : conditions) {
+    double records = 0.0;
+    double air_bytes = 0.0;
+    int identified = 0, total = 0;
+    double confidence = 0.0;
+    for (const apps::AppId app : probes) {
+      attacks::CollectConfig collect;
+      collect.op = config.op;
+      collect.duration = quick ? minutes(1) : minutes(2);
+      collect.seed = 9000 + static_cast<std::uint64_t>(app) * 17;
+      collect.countermeasures = condition.countermeasures;
+      collect.conceal_identity = condition.conceal_identity;
+      const attacks::CollectedTrace capture = attacks::collect_trace(app, collect);
+      records += static_cast<double>(capture.trace.size());
+      air_bytes += static_cast<double>(sniffer::total_bytes(capture.trace));
+      const attacks::TraceVerdict verdict =
+          pipeline.classify_trace(capture.trace, capture.session_start);
+      ++total;
+      if (verdict.window_count > 0 && verdict.app == app) ++identified;
+      confidence += verdict.confidence;
+    }
+    if (baseline_records == 0.0) {
+      baseline_records = records;
+      baseline_bytes = air_bytes;
+    }
+    table.add_row({condition.name, fmt(records, 0),
+                   fmt_pct(records / std::max(baseline_records, 1.0)),
+                   std::to_string(identified) + "/" + std::to_string(total),
+                   fmt_pct(confidence / total),
+                   fmt_pct(air_bytes / std::max(baseline_bytes, 1.0))});
+  }
+  std::printf("%s", table.render("Countermeasure ablation (Sections VIII-B/C)").c_str());
+  std::printf("Padding hides sizes at a radio-overhead cost; re-keying and SUCI starve the\n"
+              "attacker of attributable records — matching the paper's qualitative claims.\n");
+  return 0;
+}

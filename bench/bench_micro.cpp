@@ -1,0 +1,203 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical pieces:
+// PDCCH blind decoding, TBS lookups, window feature extraction, DTW, and
+// the classifiers. These quantify the paper's qualitative claims (e.g.
+// "kNN ... may exhibit signs of reduced processing speed" on prediction,
+// RF trains cheaply without a GPU) and the sniffer's real-time headroom
+// (one subframe budget on the air is 1 ms).
+#include <benchmark/benchmark.h>
+
+#include "attacks/collect.hpp"
+#include "common/rng.hpp"
+#include "dtw/dtw.hpp"
+#include "features/window.hpp"
+#include "lte/crc.hpp"
+#include "lte/dci.hpp"
+#include "lte/tbs.hpp"
+#include "ml/cnn.hpp"
+#include "ml/knn.hpp"
+#include "ml/logreg.hpp"
+#include "ml/random_forest.hpp"
+#include "sniffer/sniffer.hpp"
+
+using namespace ltefp;
+
+namespace {
+
+lte::PdcchSubframe make_subframe(int dcis, Rng& rng) {
+  lte::PdcchSubframe sf;
+  sf.time = 0;
+  for (int i = 0; i < dcis; ++i) {
+    lte::Dci dci;
+    dci.direction = rng.bernoulli(0.5) ? lte::Direction::kDownlink : lte::Direction::kUplink;
+    dci.rnti = static_cast<lte::Rnti>(rng.uniform_int(lte::kMinCRnti, lte::kMaxCRnti));
+    dci.mcs = static_cast<std::uint8_t>(rng.uniform_int(0, 28));
+    dci.nprb = static_cast<std::uint8_t>(rng.uniform_int(1, 100));
+    sf.dcis.push_back(lte::encode_dci(dci));
+  }
+  return sf;
+}
+
+features::Dataset synthetic_dataset(std::size_t n, int classes, Rng& rng) {
+  features::Dataset data;
+  data.feature_names = features::feature_names();
+  data.label_names.resize(static_cast<std::size_t>(classes));
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % static_cast<std::size_t>(classes));
+    features::FeatureVector x(features::kFeatureCount);
+    for (auto& v : x) v = rng.normal(label * 2.0, 1.0);
+    data.add(std::move(x), label);
+  }
+  return data;
+}
+
+void BM_Crc16(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lte::crc16(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc16)->Arg(4)->Arg(64);
+
+void BM_DciEncodeDecode(benchmark::State& state) {
+  lte::Dci dci;
+  dci.rnti = 0x1234;
+  dci.mcs = 15;
+  dci.nprb = 25;
+  for (auto _ : state) {
+    const auto enc = lte::encode_dci(dci);
+    benchmark::DoNotOptimize(lte::decode_dci_fields(enc));
+    benchmark::DoNotOptimize(lte::recover_rnti(enc.payload, enc.masked_crc));
+  }
+}
+BENCHMARK(BM_DciEncodeDecode);
+
+void BM_TbsLookup(benchmark::State& state) {
+  int itbs = 0, nprb = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lte::transport_block_size_bytes(itbs, nprb));
+    itbs = (itbs + 1) % lte::kNumItbs;
+    nprb = 1 + (nprb % lte::kMaxPrb);
+  }
+}
+BENCHMARK(BM_TbsLookup);
+
+void BM_SnifferSubframe(benchmark::State& state) {
+  Rng rng(7);
+  const auto sf = make_subframe(static_cast<int>(state.range(0)), rng);
+  sniffer::Sniffer sniff(sniffer::SnifferConfig{}, Rng(9));
+  for (auto _ : state) {
+    sniff.on_subframe(sf);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.counters["budget_us_per_subframe"] = 1000;  // 1 ms air budget
+}
+BENCHMARK(BM_SnifferSubframe)->Arg(4)->Arg(16);
+
+void BM_WindowExtraction(benchmark::State& state) {
+  Rng rng(21);
+  sniffer::Trace trace;
+  TimeMs t = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    t += rng.uniform_int(1, 40);
+    trace.push_back(sniffer::TraceRecord{
+        t, 0x100, rng.bernoulli(0.5) ? lte::Direction::kDownlink : lte::Direction::kUplink,
+        static_cast<int>(rng.uniform_int(16, 3000)), 0});
+  }
+  const features::WindowConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::extract_windows(trace, 0, config));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20'000);
+}
+BENCHMARK(BM_WindowExtraction);
+
+void BM_Dtw(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n);
+  for (auto& v : a) v = rng.uniform(0, 50);
+  for (auto& v : b) v = rng.uniform(0, 50);
+  dtw::DtwOptions options;
+  options.band = static_cast<int>(n / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::dtw_distance(a, b, options));
+  }
+}
+BENCHMARK(BM_Dtw)->Arg(60)->Arg(180)->Arg(600);
+
+void BM_RandomForestTrain(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = synthetic_dataset(static_cast<std::size_t>(state.range(0)), 3, rng);
+  for (auto _ : state) {
+    ml::RandomForest rf(ml::ForestConfig{.num_trees = 20});
+    rf.fit(data);
+    benchmark::DoNotOptimize(rf.tree_count());
+  }
+}
+BENCHMARK(BM_RandomForestTrain)->Arg(1000)->Arg(5000);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = synthetic_dataset(5000, 3, rng);
+  ml::RandomForest rf;
+  rf.fit(data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.predict(data.samples[i % data.size()].features));
+    ++i;
+  }
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_KnnPredict(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = synthetic_dataset(static_cast<std::size_t>(state.range(0)), 3, rng);
+  ml::Knn knn(ml::KnnConfig{4});
+  knn.fit(data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.predict(data.samples[i % data.size()].features));
+    ++i;
+  }
+}
+BENCHMARK(BM_KnnPredict)->Arg(1000)->Arg(10000);
+
+void BM_LogRegTrain(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = synthetic_dataset(2000, 3, rng);
+  for (auto _ : state) {
+    ml::LogisticRegression lr(ml::LogRegConfig{.epochs = 30});
+    lr.fit(data);
+    benchmark::DoNotOptimize(lr.predict(data.samples[0].features));
+  }
+}
+BENCHMARK(BM_LogRegTrain);
+
+void BM_CnnTrain(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = synthetic_dataset(1000, 3, rng);
+  for (auto _ : state) {
+    ml::Cnn1D cnn(ml::CnnConfig{.epochs = 10});
+    cnn.fit(data);
+    benchmark::DoNotOptimize(cnn.predict(data.samples[0].features));
+  }
+}
+BENCHMARK(BM_CnnTrain);
+
+void BM_CollectTraceLab(benchmark::State& state) {
+  attacks::CollectConfig config;
+  config.op = lte::Operator::kLab;
+  config.duration = seconds(10);
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(attacks::collect_trace(apps::AppId::kSkype, config));
+  }
+  state.counters["sim_ms_per_iter"] = static_cast<double>(config.duration);
+}
+BENCHMARK(BM_CollectTraceLab)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Reproduces Table VIII: performance comparison of learning algorithms on
+// a mixed real-world 3-class dataset (Streaming / Calling / Messenger).
+//
+// Hyper-parameters follow the paper: LR C = 1; kNN k selected by
+// cross-validation over 1..10 (paper: k = 4); CNN with softmax
+// cross-entropy; RF with 100 trees, seed 1; 80/20 train/test split.
+// Paper result shape: RF (.821) > kNN (.735) > LR (.698) ~ CNN (.677).
+#include <cstdio>
+#include <memory>
+
+#include "attacks/pipeline.hpp"
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "ml/cnn.hpp"
+#include "ml/knn.hpp"
+#include "ml/logreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace ltefp;
+
+namespace {
+
+/// Relabels the 9-app dataset to the 3 coarse categories.
+features::Dataset to_category_dataset(const features::Dataset& apps_data) {
+  features::Dataset out;
+  out.feature_names = apps_data.feature_names;
+  out.label_names = {"Streaming", "Calling", "Messenger"};
+  for (const auto& s : apps_data.samples) {
+    const auto category = apps::category_of(static_cast<apps::AppId>(s.label));
+    // Table ordering: Streaming, Calling (VoIP), Messenger.
+    int label = 0;
+    if (category == apps::AppCategory::kVoip) label = 1;
+    if (category == apps::AppCategory::kMessaging) label = 2;
+    out.add(s.features, label);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
+
+  // Mixed real-world dataset (the paper mixes per-class app data from its
+  // commercial-network captures).
+  attacks::PipelineConfig config;
+  config.op = lte::Operator::kTmobile;
+  config.traces_per_app = scale.traces_per_app;
+  config.trace_duration = scale.trace_duration;
+  config.seed = 1808;
+  // The paper's mixed real-world set comes from everyday device usage:
+  // several apps run alongside the labeled one, and captures span the
+  // whole six-month campaign.
+  config.background_apps = 3;
+  config.session_day_range = 45;
+  const features::Dataset dataset = to_category_dataset(attacks::build_dataset(config));
+  std::printf("Dataset: %zu windows, 3 classes\n", dataset.size());
+
+  Rng rng(config.seed);
+  auto [train, test] = features::train_test_split(dataset, 0.8, rng);
+
+  // kNN: select k by cross-validation over 1..10, as the paper does. Use a
+  // subsample for the sweep to keep the O(n^2) affordable.
+  features::Dataset cv_subset = train;
+  if (cv_subset.samples.size() > 3000) cv_subset.samples.resize(3000);
+  const int best_k = ml::select_k_by_cross_validation(cv_subset, 10, 5, 99);
+
+  std::vector<std::unique_ptr<ml::Classifier>> models;
+  models.push_back(std::make_unique<ml::LogisticRegression>(ml::LogRegConfig{.c = 1.0}));
+  models.push_back(std::make_unique<ml::Knn>(ml::KnnConfig{best_k}));
+  models.push_back(std::make_unique<ml::Cnn1D>());
+  models.push_back(std::make_unique<ml::RandomForest>());
+
+  TextTable table({"Algorithm", "Streaming", "Calling", "Messenger", "Average (weighted)"});
+  for (const auto& model : models) {
+    model->fit(train);
+    ml::ConfusionMatrix cm(3);
+    for (const auto& s : test.samples) cm.add(s.label, model->predict(s.features));
+    table.add_row({model->name(), fmt(cm.recall(0)), fmt(cm.recall(1)), fmt(cm.recall(2)),
+                   fmt(cm.accuracy())});
+  }
+  std::printf("%s", table.render("Table VIII - algorithm comparison (3-class, mixed "
+                                 "real-world dataset, 80/20 split)")
+                        .c_str());
+  std::printf("Parameters: LR C=1; kNN k=%d (CV over 1..10); CNN softmax cross-entropy; "
+              "RF 100 trees, seed 1\n",
+              best_k);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the table/figure benches: scale control and common
+// experiment drivers.
+//
+// Every bench accepts --quick (or env LTEFP_QUICK=1) to run a reduced-size
+// variant for smoke testing; the default sizes reproduce the paper's
+// qualitative results in minutes on a laptop. The paper's own campaign
+// (350k traces over six months) is out of scope for a bench run — what
+// must match is the *shape* of each table, per DESIGN.md.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "common/sim_time.hpp"
+
+namespace ltefp::bench {
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return true;
+  }
+  const char* env = std::getenv("LTEFP_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+struct Scale {
+  int traces_per_app;
+  TimeMs trace_duration;
+  int correlation_runs;
+  TimeMs correlation_duration;
+};
+
+inline Scale scale_for(bool quick) {
+  if (quick) {
+    return Scale{2, minutes(1), 3, minutes(1)};
+  }
+  return Scale{3, minutes(4), 10, minutes(3)};
+}
+
+}  // namespace ltefp::bench

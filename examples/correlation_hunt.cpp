@@ -1,0 +1,48 @@
+// Correlation attack walkthrough (paper Attack III, Figure 6 / Tables VI-VII).
+//
+// Two suspects, A and B, camp in different cells of the same operator.
+// The attacker sniffs both cells and asks: are they talking to each other?
+// We run both worlds — one where they genuinely converse over WhatsApp,
+// one where they independently chat with third parties — and show how DTW
+// similarity plus a logistic-regression verdict separates them.
+//
+// Build & run:  ninja -C build && ./build/examples/correlation_hunt
+#include <cstdio>
+
+#include "attacks/correlation.hpp"
+#include "common/table.hpp"
+
+using namespace ltefp;
+
+int main() {
+  attacks::CorrelationConfig config;
+  config.op = lte::Operator::kLab;
+  config.duration = minutes(2);
+  config.t_w = seconds(1);  // the paper's default T_w
+
+  std::printf("Capturing paired and independent sessions (WhatsApp, Skype)...\n\n");
+  TextTable table({"App", "World", "sim(A-UL, B-DL)", "sim(A-DL, B-UL)", "sim(total)",
+                   "volume ratio", "headline D(T_w,T_a)"});
+  for (const apps::AppId app : {apps::AppId::kWhatsApp, apps::AppId::kSkype}) {
+    for (const bool paired : {true, false}) {
+      config.seed = 7000 + static_cast<std::uint64_t>(app) * 31 + (paired ? 1 : 0);
+      const attacks::PairObservation obs = attacks::run_pair_session(app, paired, config);
+      table.add_row({apps::to_string(app), paired ? "in contact" : "independent",
+                     fmt(obs.features[0]), fmt(obs.features[1]), fmt(obs.features[2]),
+                     fmt(obs.features[3]), fmt(obs.similarity)});
+    }
+  }
+  std::printf("%s", table.render("Step 3 of Figure 6: similarity calculation").c_str());
+
+  std::printf("\nTraining the contact classifier (logistic regression) per app...\n");
+  TextTable verdicts({"App", "Precision", "Recall", "Accuracy"});
+  for (const apps::AppId app : {apps::AppId::kWhatsApp, apps::AppId::kSkype}) {
+    config.seed = 8100 + static_cast<std::uint64_t>(app);
+    const ml::BinaryMetrics m = attacks::correlation_attack(app, 5, 4, config);
+    verdicts.add_row({apps::to_string(app), fmt(m.precision), fmt(m.recall), fmt(m.accuracy)});
+  }
+  std::printf("%s", verdicts.render("Contact detection (lab conditions)").c_str());
+  std::printf("\nAs the paper notes, with high precision the attacker \"just needs to get\n"
+              "lucky once\" over weeks of monitoring to prove a communication link.\n");
+  return 0;
+}

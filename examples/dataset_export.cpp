@@ -1,0 +1,70 @@
+// Builds and exports a labeled lab dataset in CSV form, mirroring the
+// dataset the paper releases ("we publicly release our lab-created
+// dataset"): one trace CSV per app session plus a windowed feature CSV
+// ready for any external ML toolkit (the paper used Weka).
+//
+// Build & run:  ninja -C build && ./build/examples/dataset_export [out_dir]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "attacks/collect.hpp"
+#include "attacks/pipeline.hpp"
+#include "common/csv.hpp"
+
+using namespace ltefp;
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "lte_fingerprint_dataset";
+  std::filesystem::create_directories(out_dir);
+
+  attacks::CollectConfig collect;
+  collect.op = lte::Operator::kLab;
+  collect.duration = minutes(1);
+  collect.seed = 424242;
+
+  std::vector<attacks::CollectedTrace> traces;
+  std::printf("Collecting one lab session per app...\n");
+  for (const apps::AppId app : apps::kAllApps) {
+    collect.seed += 101;
+    attacks::CollectedTrace capture = attacks::collect_trace(app, collect);
+
+    std::string file_name = apps::to_string(app);
+    for (char& ch : file_name) {
+      if (ch == ' ') ch = '_';
+    }
+    const auto path = out_dir / (file_name + ".trace.csv");
+    std::ofstream out(path);
+    sniffer::write_csv(out, capture.trace);
+    std::printf("  %-14s -> %s (%zu records, %zu RNTIs)\n", apps::to_string(app),
+                path.c_str(), capture.trace.size(), capture.rnti_count);
+    traces.push_back(std::move(capture));
+  }
+
+  // Windowed features with ground-truth labels (Weka/sklearn-ready).
+  const features::Dataset data = attacks::dataset_from_traces(traces, features::WindowConfig{});
+  const auto features_path = out_dir / "windows_100ms.csv";
+  std::ofstream out(features_path);
+  CsvWriter writer(out);
+  std::vector<std::string> header = data.feature_names;
+  header.push_back("label");
+  writer.write_row(header);
+  for (const auto& sample : data.samples) {
+    std::vector<std::string> row;
+    row.reserve(sample.features.size() + 1);
+    for (const double v : sample.features) row.push_back(std::to_string(v));
+    row.push_back(data.label_names[static_cast<std::size_t>(sample.label)]);
+    writer.write_row(row);
+  }
+  std::printf("\nWrote %zu labeled windows to %s\n", data.size(), features_path.c_str());
+
+  // Round-trip check: the CSVs re-import losslessly.
+  std::ifstream in(out_dir / "Skype.trace.csv");
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const sniffer::Trace reloaded = sniffer::read_csv(text);
+  std::printf("Round-trip check: Skype.trace.csv re-imported %zu records (%s)\n",
+              reloaded.size(),
+              reloaded == traces.back().trace ? "bit-exact" : "MISMATCH");
+  return 0;
+}

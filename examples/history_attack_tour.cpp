@@ -1,0 +1,64 @@
+// History attack walkthrough (paper Attack II, Figure 2 / Table V).
+//
+// A victim commutes between three cell zones — home (A'), workplace (B'),
+// and a grocery store (C') — using different apps in each. The attacker
+// has one passive sniffer per zone. This example narrates every stage:
+// identity mapping, per-zone capture, trace integration, and the final
+// reconstructed movement+app-usage history.
+//
+// Build & run:  ninja -C build && ./build/examples/history_attack_tour
+#include <cstdio>
+
+#include "attacks/history.hpp"
+#include "attacks/pipeline.hpp"
+#include "common/table.hpp"
+
+using namespace ltefp;
+
+int main() {
+  // Stage 0: the attacker pre-trains a fingerprinting model for the
+  // victim's operator (T-Mobile in the paper's Figure 5 setup).
+  std::printf("== Stage 0: train the fingerprinting classifier =============\n");
+  attacks::PipelineConfig pipe_config;
+  pipe_config.op = lte::Operator::kTmobile;
+  pipe_config.traces_per_app = 2;
+  pipe_config.trace_duration = minutes(2);
+  pipe_config.seed = 100;
+  attacks::FingerprintPipeline pipeline(pipe_config);
+  pipeline.train(attacks::build_dataset(pipe_config));
+  std::printf("   classifier ready (hierarchical RF, %d apps).\n\n", apps::kNumApps);
+
+  // Stage 1: the victim's day. Ground truth known only to the simulator.
+  std::printf("== Stage 1: the victim's (hidden) day =======================\n");
+  attacks::HistoryConfig config;
+  config.op = lte::Operator::kTmobile;
+  config.zones = 3;
+  config.seed = 20260706;
+  config.itinerary = {
+      {0, apps::AppId::kNetflix, minutes(2), seconds(30)},       // home: show
+      {1, apps::AppId::kFacebookMessenger, minutes(2), seconds(30)},  // work: chat
+      {2, apps::AppId::kWhatsAppCall, minutes(2), seconds(30)},  // store: call
+      {0, apps::AppId::kYoutube, minutes(2), seconds(30)},       // home again
+  };
+  std::printf("   (4 visits across home/work/store; apps hidden from attacker)\n\n");
+
+  // Stage 2: run the whole scenario; the attack sees only sniffer output.
+  std::printf("== Stage 2: passive capture + reconstruction ================\n");
+  const attacks::HistoryAttack attack(pipeline);
+  const attacks::HistoryResult result = attack.run(config);
+
+  TextTable table({"Zone", "Window", "Category", "App (predicted)", "Votes", "Truth", "Hit"});
+  const char* zone_names[] = {"A' home", "B' work", "C' store"};
+  for (const auto& obs : result.observations) {
+    table.add_row({zone_names[obs.zone],
+                   format_hms(obs.start) + " - " + format_hms(obs.end),
+                   apps::to_string(obs.predicted_category), apps::to_string(obs.predicted_app),
+                   fmt_pct(obs.f_score), apps::to_string(obs.true_app),
+                   obs.correct ? "TRUE" : "FALSE"});
+  }
+  std::printf("%s", table.render("Reconstructed movement + app-usage history").c_str());
+  std::printf("\nSuccess rate: %s. The attacker learned where the victim was and what\n"
+              "they did there, from unencrypted control-channel metadata alone.\n",
+              fmt_pct(result.success_rate).c_str());
+  return 0;
+}

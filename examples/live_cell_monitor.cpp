@@ -1,0 +1,80 @@
+// Low-level substrate tour: what a passive PDCCH monitor (OWL/FALCON
+// style) actually sees in a busy commercial cell, before any targeting.
+//
+// Shows the raw building blocks of the attack framework: blind DCI
+// decoding via CRC unmasking, the live RNTI population, RACH/paging
+// activity, and passive RNTI->TMSI identity mapping as subscribers
+// connect.
+//
+// Build & run:  ninja -C build && ./build/examples/live_cell_monitor
+#include <cstdio>
+
+#include "apps/background.hpp"
+#include "apps/factory.hpp"
+#include "common/table.hpp"
+#include "lte/network.hpp"
+#include "sniffer/sniffer.hpp"
+
+using namespace ltefp;
+
+int main() {
+  // A Verizon-profile cell with its usual subscriber load.
+  lte::Simulation sim(1234);
+  const lte::OperatorProfile profile = lte::operator_profile(lte::Operator::kVerizon);
+  const lte::CellId cell = sim.add_cell(profile);
+  apps::populate_background_ues(sim, cell, profile, 310'010'000'000'000ULL);
+
+  // Two "interesting" subscribers join mid-capture.
+  const lte::UeId alice = sim.add_ue(310'010'555'000'001ULL);
+  const lte::UeId bob = sim.add_ue(310'010'555'000'002ULL);
+  sim.camp(alice, cell);
+  sim.camp(bob, cell);
+
+  sniffer::SnifferConfig sc;
+  sc.miss_rate = profile.sniffer_miss_rate;
+  sniffer::Sniffer sniffer(sc, Rng(5));
+  sim.add_observer(cell, sniffer);
+
+  std::printf("Monitoring a %d-PRB cell (%s profile, %s scheduler)...\n",
+              lte::prb_count(profile.bandwidth), lte::to_string(profile.op),
+              profile.scheduler == lte::SchedulerKind::kProportionalFair
+                  ? "proportional-fair"
+                  : "round-robin");
+
+  sim.run_for(seconds(5));
+  std::printf("\nAfter 5 s of ambient traffic:\n");
+  std::printf("  decoded DCIs: %zu (missed %zu at %.1f%% RF loss)\n", sniffer.decoded_count(),
+              sniffer.missed_count(), profile.sniffer_miss_rate * 100.0);
+  std::printf("  live RNTIs:   %zu\n", sniffer.active_rntis(sim.now()).size());
+  std::printf("  RACH bursts:  %zu, paging indications: %zu\n", sniffer.rach_count(),
+              sniffer.paging_count());
+
+  // Alice starts a VoIP call, Bob starts streaming: watch the identity
+  // mapper bind their fresh RNTIs to their TMSIs from Msg3/Msg4 alone.
+  sim.set_traffic_source(alice,
+                         apps::make_app_source(apps::AppId::kWhatsAppCall, seconds(20), Rng(7)));
+  sim.set_traffic_source(bob, apps::make_app_source(apps::AppId::kNetflix, seconds(20), Rng(8)));
+  sim.run_for(seconds(20));
+
+  std::printf("\nAfter Alice (VoIP) and Bob (streaming) became active:\n");
+  TextTable table({"Subscriber", "TMSI (sniffed)", "RNTI bindings", "Records", "Bytes", "UL/DL"});
+  for (const auto& [name, ue] : {std::pair{"Alice", alice}, std::pair{"Bob", bob}}) {
+    const lte::Tmsi tmsi = sim.tmsi_of(ue);
+    const auto bindings = sniffer.identities().bindings_of(tmsi);
+    const sniffer::Trace trace = sniffer.trace_of_tmsi(tmsi);
+    long long ul = 0, dl = 0;
+    for (const auto& r : trace) {
+      (r.direction == lte::Direction::kUplink ? ul : dl) += r.tb_bytes;
+    }
+    char tmsi_hex[16];
+    std::snprintf(tmsi_hex, sizeof(tmsi_hex), "0x%08X", tmsi);
+    table.add_row({name, tmsi_hex, std::to_string(bindings.size()),
+                   std::to_string(trace.size()), std::to_string(ul + dl),
+                   fmt(dl > 0 ? static_cast<double>(ul) / static_cast<double>(dl) : 0.0, 2)});
+  }
+  std::printf("%s", table.render("Passive identity mapping + per-user capture").c_str());
+  std::printf("\nNote the UL/DL ratios: ~1 for the VoIP call, ~0 for streaming — visible\n"
+              "without touching a single encrypted byte. Total identity mappings in cell: %zu.\n",
+              sniffer.identities().confirmed_count());
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "apps/app_id.hpp"
+
+namespace ltefp::apps {
+
+AppCategory category_of(AppId app) {
+  switch (app) {
+    case AppId::kNetflix:
+    case AppId::kYoutube:
+    case AppId::kAmazonPrime:
+      return AppCategory::kStreaming;
+    case AppId::kFacebookMessenger:
+    case AppId::kWhatsApp:
+    case AppId::kTelegram:
+      return AppCategory::kMessaging;
+    case AppId::kFacebookCall:
+    case AppId::kWhatsAppCall:
+    case AppId::kSkype:
+      return AppCategory::kVoip;
+  }
+  return AppCategory::kStreaming;
+}
+
+const char* to_string(AppId app) {
+  switch (app) {
+    case AppId::kNetflix: return "Netflix";
+    case AppId::kYoutube: return "YouTube";
+    case AppId::kAmazonPrime: return "Amazon Prime";
+    case AppId::kFacebookMessenger: return "Facebook";
+    case AppId::kWhatsApp: return "WhatsApp";
+    case AppId::kTelegram: return "Telegram";
+    case AppId::kFacebookCall: return "Facebook Call";
+    case AppId::kWhatsAppCall: return "WhatsApp Call";
+    case AppId::kSkype: return "Skype";
+  }
+  return "?";
+}
+
+const char* to_string(AppCategory category) {
+  switch (category) {
+    case AppCategory::kStreaming: return "Streaming";
+    case AppCategory::kMessaging: return "Messaging";
+    case AppCategory::kVoip: return "VoIP";
+  }
+  return "?";
+}
+
+std::array<AppId, 3> apps_in_category(AppCategory category) {
+  switch (category) {
+    case AppCategory::kStreaming:
+      return {AppId::kNetflix, AppId::kYoutube, AppId::kAmazonPrime};
+    case AppCategory::kMessaging:
+      return {AppId::kFacebookMessenger, AppId::kWhatsApp, AppId::kTelegram};
+    case AppCategory::kVoip:
+      return {AppId::kFacebookCall, AppId::kWhatsAppCall, AppId::kSkype};
+  }
+  return {AppId::kNetflix, AppId::kYoutube, AppId::kAmazonPrime};
+}
+
+std::optional<AppId> app_from_string(std::string_view name) {
+  for (const AppId app : kAllApps) {
+    if (name == to_string(app)) return app;
+  }
+  // VoIP and messaging share brand names in the paper's tables; accept
+  // category-qualified aliases.
+  if (name == "Facebook Messenger") return AppId::kFacebookMessenger;
+  return std::nullopt;
+}
+
+}  // namespace ltefp::apps

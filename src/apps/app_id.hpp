@@ -1,0 +1,48 @@
+// The nine mobile apps studied by the paper (Section IV-A) and their
+// categories. These topped the Google Play charts in their categories at
+// the time of the study: streaming (Netflix, YouTube, Amazon Prime Video),
+// messaging (Facebook Messenger, WhatsApp, Telegram), and VoIP
+// (Facebook Call, WhatsApp Call, Skype).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ltefp::apps {
+
+enum class AppCategory : std::uint8_t { kStreaming = 0, kMessaging = 1, kVoip = 2 };
+
+enum class AppId : std::uint8_t {
+  kNetflix = 0,
+  kYoutube,
+  kAmazonPrime,
+  kFacebookMessenger,
+  kWhatsApp,
+  kTelegram,
+  kFacebookCall,
+  kWhatsAppCall,
+  kSkype,
+};
+
+constexpr int kNumApps = 9;
+constexpr int kNumCategories = 3;
+
+constexpr std::array<AppId, kNumApps> kAllApps = {
+    AppId::kNetflix,          AppId::kYoutube,  AppId::kAmazonPrime,
+    AppId::kFacebookMessenger, AppId::kWhatsApp, AppId::kTelegram,
+    AppId::kFacebookCall,     AppId::kWhatsAppCall, AppId::kSkype,
+};
+
+AppCategory category_of(AppId app);
+const char* to_string(AppId app);
+const char* to_string(AppCategory category);
+
+/// Apps belonging to one category, in canonical order.
+std::array<AppId, 3> apps_in_category(AppCategory category);
+
+/// Inverse of to_string(AppId); nullopt for unknown names.
+std::optional<AppId> app_from_string(std::string_view name);
+
+}  // namespace ltefp::apps

@@ -1,0 +1,84 @@
+// Background / noise traffic.
+//
+// Two uses, both from the paper:
+//  - Section VIII-A "Impacts of noise traffic": the victim's own UE runs
+//    5-10 additional apps in the background while the foreground app is
+//    fingerprinted (Fig. 9). BackgroundAppMix models that churn.
+//  - Real-world cells serve many other subscribers; each OperatorProfile
+//    specifies a count of competing UEs whose web-like load shapes the
+//    scheduler's behaviour (WebBrowsingSource + populate_background_ues).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_id.hpp"
+#include "common/rng.hpp"
+#include "lte/network.hpp"
+#include "lte/traffic.hpp"
+
+namespace ltefp::apps {
+
+/// Generic bursty request/response source (web browsing, feed refresh,
+/// sync): exponential think times, uplink request, downlink response burst.
+class WebBrowsingSource final : public lte::TrafficSource {
+ public:
+  struct Params {
+    double think_mean_s = 6.0;      // gap between fetches
+    double response_kb_mean = 60;   // DL response size (KB), lognormal
+    double response_kb_sigma = 0.9;
+    double request_bytes = 450;
+    double burst_rate_kbps = 5000;
+  };
+
+  WebBrowsingSource(Params params, Rng rng);
+  void step(TimeMs now, std::vector<lte::AppPacket>& out) override;
+  const char* name() const override { return "web"; }
+
+ private:
+  Params params_;
+  Rng rng_;
+  TimeMs next_fetch_at_ = 0;
+  double burst_remaining_ = 0.0;
+};
+
+/// A rotating mix of background apps on a single UE, as in the paper's
+/// noise experiment: `app_count` apps drawn from the top-10 pool run
+/// "sequentially with a delay of 3-4 seconds" each, overlaying the
+/// foreground app's traffic.
+class BackgroundAppMix final : public lte::TrafficSource {
+ public:
+  BackgroundAppMix(int app_count, Rng rng);
+  void step(TimeMs now, std::vector<lte::AppPacket>& out) override;
+  const char* name() const override { return "background-mix"; }
+
+ private:
+  void rotate(TimeMs now);
+
+  int app_count_;
+  Rng rng_;
+  std::vector<std::unique_ptr<lte::TrafficSource>> active_;
+  TimeMs next_rotation_at_ = 0;
+};
+
+/// Combines a foreground source with background noise on the same UE.
+class CompositeSource final : public lte::TrafficSource {
+ public:
+  CompositeSource(std::unique_ptr<lte::TrafficSource> foreground,
+                  std::unique_ptr<lte::TrafficSource> background);
+  void step(TimeMs now, std::vector<lte::AppPacket>& out) override;
+  const char* name() const override;
+
+ private:
+  std::unique_ptr<lte::TrafficSource> foreground_;
+  std::unique_ptr<lte::TrafficSource> background_;
+};
+
+/// Adds `profile.background_ues` competing subscribers to `cell`, each with
+/// web-like load scaled to `profile.background_load_bps`. Returns their ids.
+std::vector<lte::UeId> populate_background_ues(lte::Simulation& sim, lte::CellId cell,
+                                               const lte::OperatorProfile& profile,
+                                               lte::Imsi imsi_base);
+
+}  // namespace ltefp::apps

@@ -1,0 +1,53 @@
+#include "apps/conversation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltefp::apps {
+
+ChatScript generate_chat_script(const MessagingParams& params, TimeMs duration, Rng& rng) {
+  ChatScript script;
+  TimeMs t = static_cast<TimeMs>(rng.exponential(1000.0 / params.msg_rate_hz));
+  while (t < duration) {
+    ChatEvent ev;
+    ev.time = t;
+    ev.a_to_b = !rng.bernoulli(params.recv_fraction);
+    ev.media = rng.bernoulli(params.media_prob);
+    if (ev.media) {
+      ev.bytes = static_cast<int>(
+          rng.lognormal(std::log(params.media_kb_mean), params.media_kb_sigma) * 1000.0);
+    } else {
+      ev.bytes = static_cast<int>(rng.lognormal(params.text_mu, params.text_sigma));
+    }
+    ev.bytes = std::max(ev.bytes, 1);
+    script.push_back(ev);
+
+    TimeMs gap = static_cast<TimeMs>(rng.exponential(1000.0 / params.msg_rate_hz));
+    if (rng.bernoulli(params.idle_prob)) {
+      // Conversation lull; often long enough for the RRC connection to
+      // time out and the RNTI to be refreshed on resume.
+      gap += static_cast<TimeMs>(rng.exponential(params.idle_mean_s * 1000.0));
+    }
+    t += std::max<TimeMs>(gap, 1);
+  }
+  return script;
+}
+
+CallScript generate_call_script(const VoipParams& params, TimeMs duration, Rng& rng) {
+  CallScript script;
+  TimeMs t = 0;
+  bool a_talking = rng.bernoulli(0.5);
+  while (t < duration) {
+    const TimeMs spurt =
+        std::max<TimeMs>(200, static_cast<TimeMs>(rng.exponential(params.talk_spurt_mean_s * 1000.0)));
+    const TimeMs end = std::min(t + spurt, duration);
+    script.push_back(TalkInterval{t, end, a_talking});
+    t = end;
+    // Short mutual-silence gap before the other party answers.
+    t += std::max<TimeMs>(60, static_cast<TimeMs>(rng.exponential(params.silence_mean_s * 1000.0)));
+    a_talking = !a_talking;
+  }
+  return script;
+}
+
+}  // namespace ltefp::apps

@@ -1,0 +1,47 @@
+// Shared conversation scripts.
+//
+// The correlation attack (Section III-D / VII-C) rests on the fact that
+// when two users talk through the same app, their radio traffic patterns
+// mirror each other: A's uplink burst becomes B's downlink burst a network
+// round-trip later. We therefore generate one *script* per conversation
+// and let both endpoint traffic sources replay it from their own side —
+// exactly the ground truth the attack is trying to detect.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/params.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace ltefp::apps {
+
+/// One message in a chat. Times are relative to conversation start.
+struct ChatEvent {
+  TimeMs time = 0;
+  bool a_to_b = true;  // direction: true = endpoint A sends
+  int bytes = 0;       // application payload (text or media)
+  bool media = false;  // large attachment (transferred as a burst)
+};
+
+using ChatScript = std::vector<ChatEvent>;
+
+/// Generates a chat script of the given duration: Poisson message arrivals
+/// with think-time idle gaps (which routinely exceed the RRC inactivity
+/// timeout — the cause of messaging's frequent RNTI refreshes).
+ChatScript generate_chat_script(const MessagingParams& params, TimeMs duration, Rng& rng);
+
+/// One voice-activity interval in a call; endpoints alternate speaking.
+struct TalkInterval {
+  TimeMs start = 0;
+  TimeMs end = 0;
+  bool a_talking = true;
+};
+
+using CallScript = std::vector<TalkInterval>;
+
+/// Generates alternating talk spurts / pauses covering `duration`.
+CallScript generate_call_script(const VoipParams& params, TimeMs duration, Rng& rng);
+
+}  // namespace ltefp::apps

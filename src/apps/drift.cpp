@@ -1,0 +1,32 @@
+#include "apps/drift.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ltefp::apps {
+
+DriftModel::DriftModel(double daily_step, std::uint64_t seed)
+    : daily_step_(daily_step), seed_(seed) {}
+
+DriftFactors DriftModel::at(AppId app, int day) const {
+  DriftFactors f;
+  if (day == 0) return f;
+  // Cumulative log-scale walk: each day's increment comes from an Rng
+  // keyed on (seed, app, day) so factors are random-looking but stable.
+  double log_size = 0.0;
+  double log_interval = 0.0;
+  const int steps = day >= 0 ? day : -day;
+  for (int d = 1; d <= steps; ++d) {
+    Rng rng(seed_ ^ (static_cast<std::uint64_t>(app) << 32) ^
+            static_cast<std::uint64_t>(d) * 0x9E3779B97F4A7C15ULL);
+    log_size += rng.normal(0.0, daily_step_);
+    log_interval += rng.normal(0.0, daily_step_);
+  }
+  f.size_scale = std::exp(log_size);
+  f.interval_scale = std::exp(log_interval);
+  f.shape_shift = 0.02 * static_cast<double>(steps);
+  return f;
+}
+
+}  // namespace ltefp::apps

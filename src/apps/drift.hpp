@@ -1,0 +1,39 @@
+// App traffic drift over calendar days.
+//
+// Section VIII-A ("Time effect"): app updates and CDN/back-end changes
+// shift traffic patterns day by day, which is why a classifier trained on
+// day 1 degrades over the following days (Fig. 8) and must be retrained
+// (Section VII-D cost model). We model drift as a deterministic per-app
+// random walk over day indices: on day d, an app's packet sizes are scaled
+// by size_scale(d) and its event intervals by interval_scale(d). Day 0
+// means "as trained".
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_id.hpp"
+
+namespace ltefp::apps {
+
+struct DriftFactors {
+  double size_scale = 1.0;      // multiplies payload sizes
+  double interval_scale = 1.0;  // multiplies inter-event times
+  double shape_shift = 0.0;     // additive jitter widening, grows with |d|
+};
+
+class DriftModel {
+ public:
+  /// `daily_step` is the stddev of the per-day log-scale increments;
+  /// the paper's Fig. 8 decay corresponds to roughly 8-9 % per day.
+  explicit DriftModel(double daily_step = 0.085, std::uint64_t seed = 0xD1F7);
+
+  /// Drift factors for `app` on day `day` (cumulative from day 0).
+  /// Deterministic: the same (app, day) always yields the same factors.
+  DriftFactors at(AppId app, int day) const;
+
+ private:
+  double daily_step_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ltefp::apps

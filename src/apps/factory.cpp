@@ -1,0 +1,82 @@
+#include "apps/factory.hpp"
+
+#include <stdexcept>
+
+#include "apps/messaging.hpp"
+#include "apps/streaming.hpp"
+#include "apps/voip.hpp"
+
+namespace ltefp::apps {
+
+std::unique_ptr<lte::TrafficSource> make_app_source(AppId app, TimeMs duration, Rng rng,
+                                                    SessionContext ctx,
+                                                    const DriftModel& drift) {
+  const DriftFactors f = drift.at(app, ctx.day);
+  const double adapt = ctx.adapt_jitter > 0.0 ? rng.lognormal(0.0, ctx.adapt_jitter) : 1.0;
+  switch (category_of(app)) {
+    case AppCategory::kStreaming: {
+      StreamingParams p = streaming_params(app);
+      apply_drift(p, f);
+      // ABR ladder: the player picks a rendition for current throughput.
+      p.segment_kb_mean *= adapt;
+      p.startup_rate_kbps *= adapt;
+      p.burst_rate_kbps *= adapt;
+      return std::make_unique<StreamingSource>(app, p, rng);
+    }
+    case AppCategory::kMessaging: {
+      MessagingParams p = messaging_params(app);
+      apply_drift(p, f);
+      p.burst_rate_kbps *= adapt;  // media transfers track link quality
+      return std::make_unique<MessagingSource>(app, p, duration, rng);
+    }
+    case AppCategory::kVoip: {
+      VoipParams p = voip_params(app);
+      apply_drift(p, f);
+      // Adaptive codec: bitrate (hence frame size) follows link quality.
+      p.frame_bytes_mean *= adapt;
+      p.frame_bytes_jitter *= adapt;
+      return std::make_unique<VoipSource>(app, p, duration, rng);
+    }
+  }
+  throw std::logic_error("make_app_source: unreachable");
+}
+
+std::unique_ptr<lte::TrafficSource> make_app_source(AppId app, TimeMs duration, Rng rng, int day,
+                                                    const DriftModel& drift) {
+  return make_app_source(app, duration, rng, SessionContext{day, 0.0}, drift);
+}
+
+std::pair<std::unique_ptr<lte::TrafficSource>, std::unique_ptr<lte::TrafficSource>>
+make_paired_sources(AppId app, TimeMs duration, Rng rng, TimeMs network_delay, int day,
+                    const DriftModel& drift) {
+  const DriftFactors f = drift.at(app, day);
+  switch (category_of(app)) {
+    case AppCategory::kMessaging: {
+      MessagingParams p = messaging_params(app);
+      apply_drift(p, f);
+      auto script = std::make_shared<const ChatScript>(
+          generate_chat_script(p, duration, rng));
+      auto a = std::make_unique<MessagingSource>(app, p, script, Endpoint::kA, network_delay,
+                                                 rng.fork());
+      auto b = std::make_unique<MessagingSource>(app, p, script, Endpoint::kB, network_delay,
+                                                 rng.fork());
+      return {std::move(a), std::move(b)};
+    }
+    case AppCategory::kVoip: {
+      VoipParams p = voip_params(app);
+      apply_drift(p, f);
+      auto script = std::make_shared<const CallScript>(
+          generate_call_script(p, duration, rng));
+      auto a = std::make_unique<VoipSource>(app, p, script, VoipEndpoint::kA, network_delay,
+                                            rng.fork());
+      auto b = std::make_unique<VoipSource>(app, p, script, VoipEndpoint::kB, network_delay,
+                                            rng.fork());
+      return {std::move(a), std::move(b)};
+    }
+    case AppCategory::kStreaming:
+      throw std::invalid_argument("make_paired_sources: streaming apps are not conversational");
+  }
+  throw std::logic_error("make_paired_sources: unreachable");
+}
+
+}  // namespace ltefp::apps

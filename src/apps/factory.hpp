@@ -1,0 +1,41 @@
+// Factory entry points tying app ids to their traffic models, with the
+// drift model applied for day-indexed experiments.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "apps/app_id.hpp"
+#include "apps/conversation.hpp"
+#include "apps/drift.hpp"
+#include "common/rng.hpp"
+#include "lte/traffic.hpp"
+
+namespace ltefp::apps {
+
+/// Session-level adaptation: adaptive codecs (opus/SILK) and ABR players
+/// react to the radio conditions of the moment, scaling payload sizes and
+/// rates per session. 0 disables (controlled lab), ~0.1 for live networks.
+struct SessionContext {
+  int day = 0;                // drift day (0 = training day)
+  double adapt_jitter = 0.0;  // lognormal sigma of the session's rate scale
+};
+
+/// Standalone session of `app` lasting `duration` ms.
+std::unique_ptr<lte::TrafficSource> make_app_source(AppId app, TimeMs duration, Rng rng,
+                                                    SessionContext ctx = {},
+                                                    const DriftModel& drift = DriftModel());
+
+/// Back-compat convenience: day only.
+std::unique_ptr<lte::TrafficSource> make_app_source(AppId app, TimeMs duration, Rng rng,
+                                                    int day,
+                                                    const DriftModel& drift = DriftModel());
+
+/// A correlated pair of endpoint sources sharing one conversation/call
+/// script (messaging or VoIP apps only; throws std::invalid_argument for
+/// streaming). `network_delay` is the one-way path latency between them.
+std::pair<std::unique_ptr<lte::TrafficSource>, std::unique_ptr<lte::TrafficSource>>
+make_paired_sources(AppId app, TimeMs duration, Rng rng, TimeMs network_delay = 70, int day = 0,
+                    const DriftModel& drift = DriftModel());
+
+}  // namespace ltefp::apps

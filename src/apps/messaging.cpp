@@ -1,0 +1,202 @@
+#include "apps/messaging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltefp::apps {
+namespace {
+
+constexpr double kBytesPerMsPerKbps = 1000.0 / 8.0 / 1000.0;
+
+}  // namespace
+
+MessagingSource::MessagingSource(AppId app, MessagingParams params, TimeMs session_duration,
+                                 Rng rng)
+    : app_(app), params_(params), rng_(rng) {
+  auto script = std::make_shared<ChatScript>(
+      generate_chat_script(params_, session_duration, rng_));
+  script_ = std::move(script);
+  endpoint_ = Endpoint::kA;
+  network_delay_ = 70;
+  build_aux_schedule();
+}
+
+MessagingSource::MessagingSource(AppId app, MessagingParams params,
+                                 std::shared_ptr<const ChatScript> script, Endpoint endpoint,
+                                 TimeMs network_delay, Rng rng)
+    : app_(app),
+      params_(params),
+      rng_(rng),
+      script_(std::move(script)),
+      endpoint_(endpoint),
+      network_delay_(network_delay) {
+  build_aux_schedule();
+}
+
+void MessagingSource::build_aux_schedule() {
+  // Typing indicators precede, protocol chatter follows, each message.
+  // Decisions are derived deterministically from (app, event index, script
+  // size) so both endpoints of a shared script agree on every aux packet.
+  const auto& script = *script_;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const ChatEvent& ev = script[i];
+    Rng aux_rng(0xA0515ULL ^ (static_cast<std::uint64_t>(app_) << 40) ^
+                (static_cast<std::uint64_t>(script.size()) << 20) ^ i);
+    if (!ev.media && params_.typing_prob > 0 && aux_rng.bernoulli(params_.typing_prob)) {
+      for (int k = 0; k < params_.typing_packets; ++k) {
+        AuxPacket pkt;
+        pkt.time = ev.time - 400 - static_cast<TimeMs>(aux_rng.uniform(0.0, 600.0) * (k + 1));
+        if (pkt.time < 0) continue;
+        pkt.sender_is_a = ev.a_to_b;
+        pkt.from_sender = true;
+        pkt.bytes = std::max(16, static_cast<int>(aux_rng.normal(params_.typing_bytes,
+                                                                 params_.typing_bytes * 0.1)));
+        aux_.push_back(pkt);
+      }
+    }
+    for (int k = 0; k < params_.chatter_packets; ++k) {
+      AuxPacket pkt;
+      pkt.time = ev.time + 30 + static_cast<TimeMs>(aux_rng.uniform(0.0, 220.0));
+      pkt.sender_is_a = ev.a_to_b;
+      // Chatter alternates: server ack toward the sender, then follow-up.
+      pkt.from_sender = (k % 2) == 1;
+      pkt.bytes = std::max(16, static_cast<int>(aux_rng.normal(params_.chatter_bytes,
+                                                               params_.chatter_bytes * 0.15)));
+      aux_.push_back(pkt);
+    }
+  }
+  std::sort(aux_.begin(), aux_.end(),
+            [](const AuxPacket& a, const AuxPacket& b) { return a.time < b.time; });
+}
+
+void MessagingSource::enqueue_delayed(TimeMs at, lte::Direction dir, int bytes) {
+  delayed_.push_back(Delayed{at, dir, bytes});
+}
+
+void MessagingSource::flush_delayed(TimeMs rel, std::vector<lte::AppPacket>& out) {
+  for (std::size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].at <= rel) {
+      out.push_back(lte::AppPacket{delayed_[i].dir, delayed_[i].bytes});
+      delayed_[i] = delayed_.back();
+      delayed_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void MessagingSource::start_burst(lte::Direction dir, int bytes) {
+  if (dir == lte::Direction::kUplink) {
+    ul_burst_remaining_ += bytes;
+  } else {
+    dl_burst_remaining_ += bytes;
+  }
+}
+
+void MessagingSource::drain_bursts(std::vector<lte::AppPacket>& out) {
+  // Media transfers drain as trains of app-specific chunk-sized packets.
+  const double budget = params_.burst_rate_kbps * kBytesPerMsPerKbps;
+  const int chunk = std::max(64, static_cast<int>(params_.media_chunk_bytes));
+  if (ul_burst_remaining_ > 0.0) {
+    double b = std::min(ul_burst_remaining_, budget);
+    while (b > 0.0) {
+      const int pkt = std::min(chunk, static_cast<int>(std::ceil(b)));
+      out.push_back(lte::AppPacket{lte::Direction::kUplink, pkt});
+      b -= pkt;
+      ul_burst_remaining_ -= pkt;
+    }
+    ul_burst_remaining_ = std::max(0.0, ul_burst_remaining_);
+  }
+  if (dl_burst_remaining_ > 0.0) {
+    double b = std::min(dl_burst_remaining_, budget);
+    while (b > 0.0) {
+      const int pkt = std::min(chunk, static_cast<int>(std::ceil(b)));
+      out.push_back(lte::AppPacket{lte::Direction::kDownlink, pkt});
+      b -= pkt;
+      dl_burst_remaining_ -= pkt;
+    }
+    dl_burst_remaining_ = std::max(0.0, dl_burst_remaining_);
+  }
+}
+
+void MessagingSource::step(TimeMs now, std::vector<lte::AppPacket>& out) {
+  if (start_time_ < 0) {
+    start_time_ = now;
+    if (params_.keepalive_period_s > 0) {
+      next_keepalive_at_ = now + static_cast<TimeMs>(params_.keepalive_period_s * 1000.0);
+    }
+  }
+  const TimeMs rel = now - start_time_;
+  const auto& script = *script_;
+
+  flush_delayed(rel, out);
+
+  // Auxiliary protocol packets (typing indicators, chatter).
+  const bool i_am_a = endpoint_ == Endpoint::kA;
+  while (aux_idx_ < aux_.size() && aux_[aux_idx_].time <= rel) {
+    const AuxPacket& pkt = aux_[aux_idx_++];
+    const bool sender_is_me = pkt.sender_is_a == i_am_a;
+    if (sender_is_me) {
+      // My typing indicator goes uplink; the server's response comes down.
+      out.push_back(lte::AppPacket{
+          pkt.from_sender ? lte::Direction::kUplink : lte::Direction::kDownlink, pkt.bytes});
+    } else if (pkt.from_sender) {
+      // Peer's typing indicator is relayed to me downlink; the server's
+      // leg toward the peer never crosses my radio.
+      out.push_back(lte::AppPacket{lte::Direction::kDownlink, pkt.bytes});
+    }
+  }
+
+  // Outgoing messages: uplink at script time.
+  while (out_idx_ < script.size() && script[out_idx_].time <= rel) {
+    const ChatEvent& ev = script[out_idx_++];
+    if (!outgoing(ev)) continue;
+    const int total = ev.bytes + static_cast<int>(params_.protocol_overhead_b);
+    if (ev.media) {
+      start_burst(lte::Direction::kUplink, total);
+    } else {
+      if (params_.split_header) {
+        out.push_back(lte::AppPacket{lte::Direction::kUplink,
+                                     static_cast<int>(params_.header_bytes)});
+      }
+      out.push_back(lte::AppPacket{lte::Direction::kUplink, total});
+      // The delivery receipt returns after the app's server round-trip —
+      // a timing signature of the operator of that messaging backend.
+      enqueue_delayed(rel + static_cast<TimeMs>(
+                                params_.receipt_delay_ms * rng_.uniform(0.85, 1.25)),
+                      lte::Direction::kDownlink, static_cast<int>(params_.receipt_bytes));
+    }
+  }
+
+  // Incoming messages: downlink after the network delay.
+  while (in_idx_ < script.size() && script[in_idx_].time + network_delay_ <= rel) {
+    const ChatEvent& ev = script[in_idx_++];
+    if (outgoing(ev)) continue;
+    const int total = ev.bytes + static_cast<int>(params_.protocol_overhead_b);
+    if (ev.media) {
+      start_burst(lte::Direction::kDownlink, total);
+    } else {
+      if (params_.split_header) {
+        out.push_back(lte::AppPacket{lte::Direction::kDownlink,
+                                     static_cast<int>(params_.header_bytes)});
+      }
+      out.push_back(lte::AppPacket{lte::Direction::kDownlink, total});
+      // Read receipt goes back uplink after the user notices (+ server hop).
+      enqueue_delayed(rel + static_cast<TimeMs>(
+                                params_.receipt_delay_ms * rng_.uniform(0.85, 1.25)),
+                      lte::Direction::kUplink, static_cast<int>(params_.receipt_bytes));
+    }
+  }
+
+  drain_bursts(out);
+
+  if (params_.keepalive_period_s > 0 && now >= next_keepalive_at_) {
+    out.push_back(lte::AppPacket{lte::Direction::kUplink,
+                                 static_cast<int>(params_.keepalive_bytes)});
+    out.push_back(lte::AppPacket{lte::Direction::kDownlink,
+                                 static_cast<int>(params_.keepalive_bytes * 0.6)});
+    next_keepalive_at_ = now + static_cast<TimeMs>(params_.keepalive_period_s * 1000.0);
+  }
+}
+
+}  // namespace ltefp::apps

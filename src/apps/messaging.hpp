@@ -1,0 +1,77 @@
+// Instant-messaging traffic model.
+//
+// Replays a ChatScript from one endpoint's perspective: outgoing messages
+// are uplink packets at script time, incoming ones arrive downlink after a
+// network delay. Media attachments drain as multi-subframe bursts. Idle
+// gaps in the script routinely outlast the RRC inactivity timer, so a UE
+// running this source exhibits the frequent RNTI refreshes the paper
+// highlights for IM apps.
+#pragma once
+
+#include <memory>
+
+#include "apps/conversation.hpp"
+#include "common/rng.hpp"
+#include "lte/traffic.hpp"
+
+namespace ltefp::apps {
+
+enum class Endpoint { kA, kB };
+
+class MessagingSource final : public lte::TrafficSource {
+ public:
+  /// Standalone chat session: generates a private script (this UE is
+  /// endpoint A; the peer is outside the observed cell).
+  MessagingSource(AppId app, MessagingParams params, TimeMs session_duration, Rng rng);
+
+  /// One endpoint of a shared conversation (for correlation experiments).
+  MessagingSource(AppId app, MessagingParams params, std::shared_ptr<const ChatScript> script,
+                  Endpoint endpoint, TimeMs network_delay, Rng rng);
+
+  void step(TimeMs now, std::vector<lte::AppPacket>& out) override;
+  const char* name() const override { return to_string(app_); }
+  AppId app() const { return app_; }
+
+ private:
+  bool outgoing(const ChatEvent& ev) const {
+    return endpoint_ == Endpoint::kA ? ev.a_to_b : !ev.a_to_b;
+  }
+  void start_burst(lte::Direction dir, int bytes);
+  void drain_bursts(std::vector<lte::AppPacket>& out);
+
+  /// Auxiliary protocol packet tied to a script event: typing indicators
+  /// preceding a message, or protocol chatter following it. Times are
+  /// script-relative; `from_sender` is relative to the event's sender.
+  struct AuxPacket {
+    TimeMs time = 0;
+    bool sender_is_a = true;
+    bool from_sender = true;
+    int bytes = 0;
+  };
+  void build_aux_schedule();
+  void enqueue_delayed(TimeMs at, lte::Direction dir, int bytes);
+  void flush_delayed(TimeMs rel, std::vector<lte::AppPacket>& out);
+
+  AppId app_;
+  MessagingParams params_;
+  Rng rng_;
+  std::shared_ptr<const ChatScript> script_;
+  std::vector<AuxPacket> aux_;
+  std::size_t aux_idx_ = 0;
+  struct Delayed {
+    TimeMs at = 0;
+    lte::Direction dir = lte::Direction::kDownlink;
+    int bytes = 0;
+  };
+  std::vector<Delayed> delayed_;  // small, scanned linearly
+  Endpoint endpoint_ = Endpoint::kA;
+  TimeMs network_delay_ = 70;
+  TimeMs start_time_ = -1;
+  std::size_t out_idx_ = 0;  // next script event to check for sending
+  std::size_t in_idx_ = 0;   // next script event to check for receiving
+  double ul_burst_remaining_ = 0.0;
+  double dl_burst_remaining_ = 0.0;
+  TimeMs next_keepalive_at_ = 0;
+};
+
+}  // namespace ltefp::apps

@@ -1,0 +1,205 @@
+#include "apps/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ltefp::apps {
+
+StreamingParams streaming_params(AppId app) {
+  StreamingParams p;
+  switch (app) {
+    case AppId::kNetflix:
+      // Long inter-burst intervals, near-uniform 0..4000 B frame sizes.
+      p.initial_buffer_s = 16.0;
+      p.startup_rate_kbps = 9000;
+      p.segment_period_s = 4.5;
+      p.segment_kb_mean = 1700;
+      p.segment_kb_sigma = 0.22;
+      p.burst_rate_kbps = 15000;
+      p.uniform_packets = true;
+      p.packet_min_b = 200;
+      p.packet_max_b = 4000;
+      p.ul_ack_ratio = 0.021;
+      p.ack_flush_ms = 55;   // lazy ack pacing between long bursts
+      p.request_mu = 6.1;    // ~450 B ranged GETs with DRM/session headers
+      p.request_sigma = 0.12;
+      break;
+    case AppId::kYoutube:
+      // Much shorter gaps between bursts; near-continuous delivery.
+      p.initial_buffer_s = 8.0;
+      p.startup_rate_kbps = 7000;
+      p.segment_period_s = 1.6;
+      p.segment_kb_mean = 520;
+      p.segment_kb_sigma = 0.30;
+      p.burst_rate_kbps = 9000;
+      p.uniform_packets = false;
+      p.packet_mu = 7.15;   // ~1270 B median
+      p.packet_sigma = 0.30;
+      p.ul_ack_ratio = 0.026;
+      p.ack_flush_ms = 22;   // QUIC-style chatty feedback
+      p.request_mu = 5.5;    // ~245 B lean segment requests
+      p.request_sigma = 0.20;
+      break;
+    case AppId::kAmazonPrime:
+      // Continuous pattern at a higher sustained rate than YouTube.
+      p.initial_buffer_s = 11.0;
+      p.startup_rate_kbps = 8200;
+      p.segment_period_s = 2.4;
+      p.segment_kb_mean = 980;
+      p.segment_kb_sigma = 0.26;
+      p.burst_rate_kbps = 11500;
+      p.uniform_packets = false;
+      p.packet_mu = 6.85;   // ~940 B median
+      p.packet_sigma = 0.42;
+      p.ul_ack_ratio = 0.018;
+      p.ack_flush_ms = 75;   // coarse delayed acks
+      p.request_mu = 5.9;    // ~365 B requests
+      p.request_sigma = 0.15;
+      break;
+    default:
+      throw std::invalid_argument("streaming_params: not a streaming app");
+  }
+  return p;
+}
+
+MessagingParams messaging_params(AppId app) {
+  MessagingParams p;
+  switch (app) {
+    case AppId::kFacebookMessenger:
+      p.msg_rate_hz = 0.80;  // auto-clicker-driven dense session
+      p.text_mu = 6.04;      // ~420 B median (rich payloads, attachments inline)
+      p.text_sigma = 0.32;
+      p.media_prob = 0.24;   // files / voice notes / emoticon packs
+      p.media_kb_mean = 210;
+      p.burst_rate_kbps = 7500;
+      p.media_chunk_bytes = 1378;  // MQTT chunk stream
+      p.idle_prob = 0.085;
+      p.idle_mean_s = 13.0;
+      p.keepalive_period_s = 55.0;  // MQTT keepalive
+      p.keepalive_bytes = 200;
+      p.protocol_overhead_b = 90;
+      p.receipt_bytes = 95;    // rich delivery + seen receipts
+      p.receipt_delay_ms = 35; // fast edge POPs
+      p.typing_prob = 0.85;    // Messenger streams typing indicators
+      p.typing_packets = 4;
+      p.typing_bytes = 100;
+      p.chatter_packets = 1;   // MQTT puback + presence blob per message
+      p.chatter_bytes = 175;
+      break;
+    case AppId::kWhatsApp:
+      p.msg_rate_hz = 0.65;  // auto-clicker-driven dense session
+      p.text_mu = 5.48;      // ~240 B median, lean wire protocol
+      p.text_sigma = 0.36;
+      p.media_prob = 0.21;   // files / voice notes
+      p.media_kb_mean = 150;
+      p.burst_rate_kbps = 4500;
+      p.media_chunk_bytes = 1264;  // E2E-encrypted 1.25 KB blocks
+      p.idle_prob = 0.11;
+      p.idle_mean_s = 15.5;
+      p.keepalive_period_s = 0;
+      p.protocol_overhead_b = 48;
+      p.receipt_bytes = 140;   // bundled double-tick + read status blob
+      p.receipt_delay_ms = 95; // single relay data centre
+      p.typing_prob = 0.35;    // occasional "typing..." updates
+      p.typing_packets = 1;
+      p.typing_bytes = 30;
+      p.chatter_packets = 0;
+      break;
+    case AppId::kTelegram:
+      p.msg_rate_hz = 1.05;  // chattier protocol (MTProto container updates)
+      p.text_mu = 4.87;      // ~130 B median
+      p.text_sigma = 0.40;
+      p.media_prob = 0.17;   // stickers / files
+      p.media_kb_mean = 120;
+      p.burst_rate_kbps = 9500;
+      p.media_chunk_bytes = 1024;  // MTProto 1 KB parts
+      p.idle_prob = 0.13;
+      p.idle_mean_s = 11.0;
+      p.keepalive_period_s = 25.0;
+      p.keepalive_bytes = 64;
+      p.protocol_overhead_b = 40;
+      p.receipt_bytes = 62;    // MTProto msgs_ack container
+      p.receipt_delay_ms = 60;
+      p.split_header = true;   // MTProto container header precedes payload
+      p.header_bytes = 46;
+      p.typing_prob = 0.55;
+      p.typing_packets = 2;
+      p.typing_bytes = 56;
+      p.chatter_packets = 2;   // container updates / seq acks per event
+      p.chatter_bytes = 58;
+      break;
+    default:
+      throw std::invalid_argument("messaging_params: not a messaging app");
+  }
+  return p;
+}
+
+VoipParams voip_params(AppId app) {
+  VoipParams p;
+  switch (app) {
+    case AppId::kFacebookCall:
+      p.frame_period_ms = 20;    // one opus frame per RTP packet
+      p.frame_bytes_mean = 62;
+      p.frame_bytes_jitter = 5;
+      p.talk_spurt_mean_s = 2.4;
+      p.silence_mean_s = 1.5;
+      p.sid_period_ms = 160;
+      p.sid_bytes = 14;
+      p.rtcp_period_s = 5.0;
+      break;
+    case AppId::kWhatsAppCall:
+      p.frame_period_ms = 40;    // bundles two opus frames per packet
+      p.frame_bytes_mean = 172;  // 2 x VBR frame + SRTP overhead
+      p.frame_bytes_jitter = 26;
+      p.talk_spurt_mean_s = 2.0;
+      p.silence_mean_s = 1.2;
+      p.sid_period_ms = 320;
+      p.sid_bytes = 22;
+      p.rtcp_period_s = 4.0;
+      break;
+    case AppId::kSkype:
+      p.frame_period_ms = 20;
+      p.frame_bytes_mean = 128;  // SILK wideband
+      p.frame_bytes_jitter = 10;
+      p.fec_prob = 0.25;         // in-band FEC bursts
+      p.fec_bytes = 46;
+      p.talk_spurt_mean_s = 2.8;
+      p.silence_mean_s = 1.6;
+      p.sid_period_ms = 100;     // chatty even in silence (probing)
+      p.sid_bytes = 34;
+      p.rtcp_period_s = 6.0;
+      break;
+    default:
+      throw std::invalid_argument("voip_params: not a VoIP app");
+  }
+  return p;
+}
+
+void apply_drift(StreamingParams& p, const DriftFactors& f) {
+  p.segment_kb_mean *= f.size_scale;
+  p.startup_rate_kbps *= f.size_scale;
+  p.burst_rate_kbps *= f.size_scale;
+  p.packet_mu += std::log(f.size_scale) * 0.5;
+  p.segment_period_s *= f.interval_scale;
+  p.packet_sigma += f.shape_shift * 0.5;
+  p.segment_kb_sigma += f.shape_shift * 0.3;
+}
+
+void apply_drift(MessagingParams& p, const DriftFactors& f) {
+  p.text_mu += std::log(f.size_scale);
+  p.media_kb_mean *= f.size_scale;
+  p.protocol_overhead_b *= f.size_scale;
+  p.msg_rate_hz /= f.interval_scale;
+  p.idle_mean_s *= f.interval_scale;
+  p.text_sigma += f.shape_shift;
+}
+
+void apply_drift(VoipParams& p, const DriftFactors& f) {
+  p.frame_bytes_mean *= f.size_scale;
+  p.sid_bytes *= f.size_scale;
+  p.talk_spurt_mean_s *= f.interval_scale;
+  p.silence_mean_s *= f.interval_scale;
+  p.frame_bytes_jitter += f.shape_shift * 20.0;
+}
+
+}  // namespace ltefp::apps

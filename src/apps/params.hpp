@@ -1,0 +1,92 @@
+// Parameter sets for the three traffic-model families, with the per-app
+// values that encode the paper's Section IV-B observations:
+//
+//  - Netflix: "frame sizes distribute almost uniformly between 0 and 4000
+//    bytes, and the intervals between traffic bursts are relatively long";
+//    heavy initial buffering.
+//  - Amazon Prime / YouTube: "more continuous frame transmission pattern
+//    with much shorter intervals between bursts".
+//  - Messaging: "dynamic nature", application-layer sessions close after
+//    seconds-to-tens-of-seconds of silence, so RNTIs refresh often.
+//  - VoIP: "continuous transmission and a more constant usage of radio
+//    resources", and "the only class ... with a significant and similar
+//    amount of data transmitted in both directions".
+#pragma once
+
+#include "apps/app_id.hpp"
+#include "apps/drift.hpp"
+
+namespace ltefp::apps {
+
+struct StreamingParams {
+  double initial_buffer_s = 12.0;   // startup buffering phase duration
+  double startup_rate_kbps = 8000;  // DL rate while buffering
+  double segment_period_s = 4.0;    // steady-state fetch interval
+  double segment_kb_mean = 1400;    // per-segment bytes (KB), lognormal
+  double segment_kb_sigma = 0.25;   // lognormal sigma of segment size
+  double burst_rate_kbps = 16000;   // drain rate within a burst
+  bool uniform_packets = false;     // Netflix-style uniform packet sizes
+  double packet_min_b = 400;        // if uniform
+  double packet_max_b = 4000;       // if uniform
+  double packet_mu = 7.1;           // else lognormal(mu, sigma) bytes
+  double packet_sigma = 0.35;
+  double ul_ack_ratio = 0.022;      // TCP ack bytes per DL byte
+  double ack_flush_ms = 40;         // ack pacing (client TCP stack + player)
+  double request_mu = 5.7;          // lognormal HTTP request size (bytes)
+  double request_sigma = 0.15;
+};
+
+struct MessagingParams {
+  double msg_rate_hz = 0.45;       // Poisson message events while active
+  double recv_fraction = 0.5;      // fraction of events that are incoming
+  double text_mu = 5.6;            // lognormal text payload (bytes)
+  double text_sigma = 0.7;
+  double media_prob = 0.08;        // message carries a media attachment
+  double media_kb_mean = 180;      // attachment size (KB)
+  double media_kb_sigma = 0.6;
+  double burst_rate_kbps = 6000;   // media transfer drain rate
+  double media_chunk_bytes = 1400; // app-specific media chunking on the wire
+  double idle_prob = 0.10;         // chat pauses after a message...
+  double idle_mean_s = 14.0;       // ...for this long on average (can
+                                   // exceed the 10 s RRC timeout -> RNTI
+                                   // refresh, as the paper observes)
+  double keepalive_period_s = 0;   // 0 = none
+  double keepalive_bytes = 90;
+  double protocol_overhead_b = 60; // framing added to each payload
+  double receipt_bytes = 50;       // delivery/read receipt size
+  double receipt_delay_ms = 60;    // server round-trip before the receipt
+  bool split_header = false;       // emit a separate protocol-header packet
+  double header_bytes = 48;        // ...of this size, right before payload
+  double typing_prob = 0.0;        // typing indicators precede a message...
+  int typing_packets = 0;          // ...this many per message
+  double typing_bytes = 70;
+  int chatter_packets = 0;         // protocol chatter packets per event
+  double chatter_bytes = 80;       // (presence updates, containers, acks)
+};
+
+struct VoipParams {
+  double frame_period_ms = 20;     // packetisation interval (codec frames
+                                   // may be bundled: 20/40/60 ms on the wire)
+  double frame_bytes_mean = 80;    // voice payload per packet
+  double frame_bytes_jitter = 6;   // stddev (VBR codecs jitter more)
+  double talk_spurt_mean_s = 2.2;  // voice-activity on period
+  double silence_mean_s = 1.4;     // off period (listening)
+  double sid_period_ms = 160;      // comfort-noise frame interval in silence
+  double sid_bytes = 14;
+  double fec_prob = 0.0;           // per-frame redundancy probability
+  double fec_bytes = 40;
+  double rtcp_period_s = 5.0;      // control report interval
+  double rtcp_bytes = 120;
+};
+
+StreamingParams streaming_params(AppId app);
+MessagingParams messaging_params(AppId app);
+VoipParams voip_params(AppId app);
+
+/// Applies drift factors in place (sizes scaled by size_scale, periods by
+/// interval_scale, jitters widened by shape_shift).
+void apply_drift(StreamingParams& p, const DriftFactors& f);
+void apply_drift(MessagingParams& p, const DriftFactors& f);
+void apply_drift(VoipParams& p, const DriftFactors& f);
+
+}  // namespace ltefp::apps

@@ -1,0 +1,85 @@
+#include "apps/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltefp::apps {
+namespace {
+
+constexpr double kBytesPerMsPerKbps = 1000.0 / 8.0 / 1000.0;  // kbps -> bytes/ms
+
+}  // namespace
+
+StreamingSource::StreamingSource(AppId app, StreamingParams params, Rng rng)
+    : app_(app), params_(params), rng_(rng) {}
+
+int StreamingSource::sample_packet_size() {
+  double size;
+  if (params_.uniform_packets) {
+    size = rng_.uniform(params_.packet_min_b, params_.packet_max_b);
+  } else {
+    size = rng_.lognormal(params_.packet_mu, params_.packet_sigma);
+  }
+  return std::max(1, static_cast<int>(size));
+}
+
+void StreamingSource::emit_downlink(double budget_bytes, ltefp::TimeMs now,
+                                    std::vector<lte::AppPacket>& out) {
+  dl_carry_ += budget_bytes;
+  while (dl_carry_ > 0.0 && segment_remaining_ > 0.0) {
+    const int pkt = std::min({sample_packet_size(),
+                              static_cast<int>(std::ceil(dl_carry_)),
+                              static_cast<int>(std::ceil(segment_remaining_))});
+    if (pkt <= 0) break;
+    out.push_back(lte::AppPacket{lte::Direction::kDownlink, pkt});
+    dl_carry_ -= pkt;
+    segment_remaining_ -= pkt;
+    ack_debt_ += pkt * params_.ul_ack_ratio;
+  }
+  if (segment_remaining_ <= 0.0) dl_carry_ = 0.0;
+  // Flush acks on a timer so uplink shows the sparse, tiny-frame pattern
+  // typical of one-way streaming.
+  if (ack_debt_ >= 1.0 && now >= next_ack_at_) {
+    out.push_back(lte::AppPacket{lte::Direction::kUplink,
+                                 static_cast<int>(ack_debt_)});
+    ack_debt_ -= static_cast<int>(ack_debt_);
+    next_ack_at_ = now + static_cast<ltefp::TimeMs>(params_.ack_flush_ms);
+  }
+}
+
+void StreamingSource::step(ltefp::TimeMs now, std::vector<lte::AppPacket>& out) {
+  if (start_time_ < 0) {
+    start_time_ = now;
+    next_segment_at_ = now + static_cast<ltefp::TimeMs>(params_.initial_buffer_s * 1000.0);
+    segment_remaining_ = 0.0;
+  }
+  const bool buffering = now < next_segment_at_ && segment_remaining_ <= 0.0 &&
+                         now - start_time_ < static_cast<ltefp::TimeMs>(params_.initial_buffer_s * 1000.0);
+  if (buffering) {
+    // Startup phase: drain at the startup rate as one long burst.
+    segment_remaining_ = params_.startup_rate_kbps * kBytesPerMsPerKbps + 1.0;
+    emit_downlink(params_.startup_rate_kbps * kBytesPerMsPerKbps, now, out);
+    return;
+  }
+
+  if (segment_remaining_ > 0.0) {
+    emit_downlink(params_.burst_rate_kbps * kBytesPerMsPerKbps, now, out);
+    return;
+  }
+
+  if (now >= next_segment_at_) {
+    // Fetch the next media segment.
+    const double kb = rng_.lognormal(std::log(params_.segment_kb_mean), params_.segment_kb_sigma);
+    segment_remaining_ = kb * 1000.0;
+    // Request goes uplink first (HTTP GET / QUIC stream open).
+    out.push_back(lte::AppPacket{
+        lte::Direction::kUplink,
+        std::max(64, static_cast<int>(rng_.lognormal(params_.request_mu, params_.request_sigma)))});
+    const double period_ms = params_.segment_period_s * 1000.0;
+    next_segment_at_ = now + static_cast<ltefp::TimeMs>(
+                                 std::max(100.0, rng_.normal(period_ms, period_ms * 0.15)));
+    emit_downlink(params_.burst_rate_kbps * kBytesPerMsPerKbps, now, out);
+  }
+}
+
+}  // namespace ltefp::apps

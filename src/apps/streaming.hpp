@@ -1,0 +1,42 @@
+// Video-streaming traffic model (DASH/HLS-like segmented delivery).
+//
+// Two phases, matching the paper's observation that "video streaming apps
+// seem to use much more radio resources at the beginning of each session
+// (intuitively, due to video buffering)":
+//  1. startup buffering — sustained high-rate downlink;
+//  2. steady state — periodic segment fetches (bursts) separated by
+//     app-specific think intervals.
+// Uplink carries only TCP-ack-scale feedback.
+#pragma once
+
+#include "apps/params.hpp"
+#include "common/rng.hpp"
+#include "lte/traffic.hpp"
+
+namespace ltefp::apps {
+
+class StreamingSource final : public lte::TrafficSource {
+ public:
+  StreamingSource(AppId app, StreamingParams params, Rng rng);
+
+  void step(ltefp::TimeMs now, std::vector<lte::AppPacket>& out) override;
+  const char* name() const override { return to_string(app_); }
+  AppId app() const { return app_; }
+
+ private:
+  int sample_packet_size();
+  void emit_downlink(double budget_bytes, ltefp::TimeMs now,
+                     std::vector<lte::AppPacket>& out);
+
+  AppId app_;
+  StreamingParams params_;
+  Rng rng_;
+  ltefp::TimeMs start_time_ = -1;
+  ltefp::TimeMs next_segment_at_ = 0;
+  double segment_remaining_ = 0.0;  // bytes still to drain in current burst
+  double dl_carry_ = 0.0;           // sub-packet byte remainder across ms
+  double ack_debt_ = 0.0;           // UL ack bytes accumulated, flushed periodically
+  ltefp::TimeMs next_ack_at_ = 0;
+};
+
+}  // namespace ltefp::apps

@@ -1,0 +1,100 @@
+#include "apps/voip.hpp"
+
+#include <algorithm>
+
+namespace ltefp::apps {
+namespace {
+
+bool talking_at(const CallScript& script, TimeMs rel, bool want_a, std::size_t& cursor) {
+  while (cursor < script.size() && script[cursor].end <= rel) ++cursor;
+  if (cursor >= script.size()) return false;
+  const TalkInterval& iv = script[cursor];
+  return iv.start <= rel && rel < iv.end && iv.a_talking == want_a;
+}
+
+}  // namespace
+
+VoipSource::VoipSource(AppId app, VoipParams params, TimeMs call_duration, Rng rng)
+    : app_(app), params_(params), rng_(rng) {
+  script_ = std::make_shared<CallScript>(generate_call_script(params_, call_duration, rng_));
+  endpoint_ = VoipEndpoint::kA;
+}
+
+VoipSource::VoipSource(AppId app, VoipParams params, std::shared_ptr<const CallScript> script,
+                       VoipEndpoint endpoint, TimeMs network_delay, Rng rng)
+    : app_(app),
+      params_(params),
+      rng_(rng),
+      script_(std::move(script)),
+      endpoint_(endpoint),
+      network_delay_(network_delay) {}
+
+bool VoipSource::local_talking(TimeMs rel) const {
+  const bool want_a = endpoint_ == VoipEndpoint::kA;
+  return talking_at(*script_, rel, want_a, ul_cursor_);
+}
+
+bool VoipSource::remote_talking(TimeMs rel) const {
+  const bool want_a = endpoint_ == VoipEndpoint::kA;
+  return talking_at(*script_, rel - network_delay_, !want_a, dl_cursor_);
+}
+
+int VoipSource::voice_frame_bytes() {
+  const double b = rng_.normal(params_.frame_bytes_mean, params_.frame_bytes_jitter);
+  return std::max(8, static_cast<int>(b));
+}
+
+void VoipSource::step(TimeMs now, std::vector<lte::AppPacket>& out) {
+  if (start_time_ < 0) {
+    start_time_ = now;
+    next_rtcp_ = now + static_cast<TimeMs>(params_.rtcp_period_s * 1000.0);
+  }
+  const TimeMs rel = now - start_time_;
+  const auto frame_period = static_cast<TimeMs>(params_.frame_period_ms);
+  const auto sid_period = static_cast<TimeMs>(params_.sid_period_ms);
+
+  // Uplink: voice frames while the local user talks, SID frames otherwise.
+  if (local_talking(rel)) {
+    if (rel >= next_ul_frame_) {
+      int bytes = voice_frame_bytes();
+      if (params_.fec_prob > 0 && rng_.bernoulli(params_.fec_prob)) {
+        bytes += static_cast<int>(params_.fec_bytes);
+      }
+      out.push_back(lte::AppPacket{lte::Direction::kUplink, bytes});
+      next_ul_frame_ = rel + frame_period;
+      next_ul_sid_ = rel + sid_period;
+    }
+  } else if (rel >= next_ul_sid_) {
+    out.push_back(lte::AppPacket{lte::Direction::kUplink,
+                                 static_cast<int>(params_.sid_bytes)});
+    next_ul_sid_ = rel + sid_period;
+  }
+
+  // Downlink mirrors the remote party, delay-shifted.
+  if (remote_talking(rel)) {
+    if (rel >= next_dl_frame_) {
+      int bytes = voice_frame_bytes();
+      if (params_.fec_prob > 0 && rng_.bernoulli(params_.fec_prob)) {
+        bytes += static_cast<int>(params_.fec_bytes);
+      }
+      out.push_back(lte::AppPacket{lte::Direction::kDownlink, bytes});
+      next_dl_frame_ = rel + frame_period;
+      next_dl_sid_ = rel + sid_period;
+    }
+  } else if (rel >= next_dl_sid_) {
+    out.push_back(lte::AppPacket{lte::Direction::kDownlink,
+                                 static_cast<int>(params_.sid_bytes)});
+    next_dl_sid_ = rel + sid_period;
+  }
+
+  // Periodic RTCP sender/receiver reports, both directions.
+  if (now >= next_rtcp_) {
+    out.push_back(lte::AppPacket{lte::Direction::kUplink,
+                                 static_cast<int>(params_.rtcp_bytes)});
+    out.push_back(lte::AppPacket{lte::Direction::kDownlink,
+                                 static_cast<int>(params_.rtcp_bytes)});
+    next_rtcp_ = now + static_cast<TimeMs>(params_.rtcp_period_s * 1000.0);
+  }
+}
+
+}  // namespace ltefp::apps

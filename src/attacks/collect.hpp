@@ -1,0 +1,54 @@
+// Trace-collection harness: stands up one cell of the chosen operator,
+// background subscribers per its profile, a victim UE running a target app
+// (optionally with background-app noise on the same device), and a passive
+// sniffer that identity-maps and tails the victim. This is procedure 1+2 of
+// the paper's framework (Figure 3): Target Identity Mapping followed by
+// Data Acquisition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app_id.hpp"
+#include "apps/drift.hpp"
+#include "common/sim_time.hpp"
+#include "lte/countermeasures.hpp"
+#include "lte/types.hpp"
+#include "sniffer/trace.hpp"
+
+namespace ltefp::attacks {
+
+struct CollectConfig {
+  lte::Operator op = lte::Operator::kLab;
+  TimeMs duration = minutes(10);   // paper: 10 minutes per trace
+  int day = 0;                     // drift day (0 = training day)
+  /// When > 0, each session's effective day is day + (seed-derived value
+  /// in [0, day_jitter_range)): the paper's real-world dataset spans six
+  /// months, so sessions sample many app-version states.
+  int day_jitter_range = 0;
+  int background_apps = 0;         // noise apps on the victim UE (Fig. 9)
+  std::uint64_t seed = 1;
+  /// Radio-side defences active in the victim's cell (Section VIII-B).
+  lte::CountermeasureConfig countermeasures;
+  /// 5G-style SUCI concealment (Section VIII-C): breaks passive identity
+  /// mapping, so the targeted capture falls back to per-RNTI collection.
+  bool conceal_identity = false;
+};
+
+struct CollectedTrace {
+  apps::AppId app = apps::AppId::kNetflix;
+  sniffer::Trace trace;        // victim's identity-mapped records
+  TimeMs session_start = 0;    // when the victim session began
+  std::size_t rnti_count = 0;  // distinct RNTIs the victim used (IM churn)
+  std::size_t decoded_dcis = 0;
+  std::size_t missed_dcis = 0;
+};
+
+/// Runs one collection session and returns the victim's trace.
+CollectedTrace collect_trace(apps::AppId app, const CollectConfig& config);
+
+/// Collects `count` traces with distinct sub-seeds.
+std::vector<CollectedTrace> collect_traces(apps::AppId app, int count,
+                                           const CollectConfig& config);
+
+}  // namespace ltefp::attacks

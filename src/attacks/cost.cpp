@@ -1,0 +1,65 @@
+#include "attacks/cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ltefp::attacks {
+
+CostModel::CostModel(CostModelParams params) : params_(params) {
+  if (params_.drift_period_days <= 0) {
+    throw std::invalid_argument("CostModel: drift period must be positive");
+  }
+}
+
+int CostModel::recorded_instances() const {
+  return params_.training_apps * params_.app_versions * params_.instances_per_app;
+}
+
+int CostModel::test_instances() const {
+  return static_cast<int>(
+      std::ceil(static_cast<double>(params_.victims) * params_.apps_per_victim));
+}
+
+double CostModel::collecting_cost() const {
+  return params_.unit_collect_cost * recorded_instances();
+}
+
+double CostModel::training_cost() const {
+  // Train_cost(A_n, F_m, T_c) = A_n * T_s, where per-instance work includes
+  // feature measurement.
+  return recorded_instances() * (params_.feature_cost + params_.unit_train_cost);
+}
+
+double CostModel::identification_cost() const {
+  // Col_cost(T_d) + Id_cost(T_d, F_m, T_c)
+  const int td = test_instances();
+  return params_.unit_collect_cost * td +
+         td * (params_.feature_cost + params_.unit_identify_cost);
+}
+
+double CostModel::perf_cost() const {
+  return collecting_cost() + training_cost() + identification_cost();
+}
+
+double CostModel::retraining_cost() const {
+  return collecting_cost() + training_cost();
+}
+
+CostBreakdown CostModel::total_cost(double current_performance, int horizon_days) const {
+  CostBreakdown b;
+  b.collect = collecting_cost();
+  b.train = training_cost();
+  const int td = test_instances();
+  b.test_collect = params_.unit_collect_cost * td;
+  b.identify = td * (params_.feature_cost + params_.unit_identify_cost);
+  b.perf = b.collect + b.train + b.test_collect + b.identify;
+  b.retrain_daily = retraining_cost() / params_.drift_period_days;
+  b.total = b.perf;
+  if (current_performance < params_.performance_threshold && horizon_days > 0) {
+    // Eq. 3: sum over the horizon of the amortised daily retraining cost.
+    b.total += b.retrain_daily * horizon_days;
+  }
+  return b;
+}
+
+}  // namespace ltefp::attacks

@@ -1,0 +1,75 @@
+// Analytical attacker cost model (paper Section VII-D, Figure 7,
+// Equations 2-3).
+//
+// Costs are expressed in abstract work units (the paper never fixes a
+// currency); what matters is the structure: collection, training, and
+// identification costs compose into Perf() (Eq. 2), and when classifier
+// performance sinks below the threshold X within D days, a per-day
+// retraining term is added (Eq. 3).
+#pragma once
+
+namespace ltefp::attacks {
+
+struct CostModelParams {
+  // --- Collecting cost (3): A_n = A_t * A_v * A_i
+  int training_apps = 9;        // A_t: apps to fingerprint
+  int app_versions = 1;         // A_v: versions distinct enough to matter
+  int instances_per_app = 10;   // A_i: recorded instances per app
+  double unit_collect_cost = 1.0;  // cost of recording one instance
+
+  // --- Training cost (5): Train = A_n * T_s
+  double feature_cost = 0.05;   // F_m: measuring features of one instance
+  double unit_train_cost = 0.2; // T_s: training on a single instance
+
+  // --- Identification cost (4)(6): T_d = V_n * A_a
+  int victims = 1;              // V_n: targeted victims
+  double apps_per_victim = 3.0; // A_a: average apps each victim runs
+  double unit_identify_cost = 0.1;  // classifying one test instance
+
+  // --- Retraining (11)
+  double performance_threshold = 0.7;  // X
+  int drift_period_days = 7;           // D: days until Perf() < X (Fig. 8)
+};
+
+struct CostBreakdown {
+  double collect = 0.0;    // Col_cost(A_n)
+  double train = 0.0;      // Train_cost(A_n, F_m, T_c)
+  double test_collect = 0.0;  // Col_cost(T_d)
+  double identify = 0.0;   // Id_cost(T_d, F_m, T_c)
+  double perf = 0.0;       // Eq. 2 total
+  double retrain_daily = 0.0;  // Retrain_cost / D
+  double total = 0.0;      // Eq. 3 total for the asked horizon
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelParams params = {});
+
+  /// A_n = A_t * A_v * A_i.
+  int recorded_instances() const;
+
+  /// T_d = V_n * A_a (rounded up).
+  int test_instances() const;
+
+  double collecting_cost() const;
+  double training_cost() const;
+  double identification_cost() const;
+
+  /// Eq. 2: Perf(A_n, F_m, T_c, T_d).
+  double perf_cost() const;
+
+  /// Retrain_cost(A_n, F_m, T_c): re-collect + re-train.
+  double retraining_cost() const;
+
+  /// Eq. 3 over `horizon_days`, given the classifier's current performance.
+  /// Retraining applies only when performance < X; it then recurs every
+  /// D days across the horizon.
+  CostBreakdown total_cost(double current_performance, int horizon_days) const;
+
+  const CostModelParams& params() const { return params_; }
+
+ private:
+  CostModelParams params_;
+};
+
+}  // namespace ltefp::attacks

@@ -1,0 +1,70 @@
+// Attack II: the history attack (paper Sections III-C and VII-B).
+//
+// The attacker pre-installs one passive sniffer in each cell zone the
+// victim frequents (home / workplace / grocery store in Figure 2). As the
+// victim roams between zones, each sniffer identity-maps the victim's
+// fresh RNTIs back to their TMSI and tails their traffic. Integrating the
+// per-zone captures yields a timeline of (zone, time span, app) visits —
+// the victim's movement history joined with their app usage, as in
+// Table V.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app_id.hpp"
+#include "attacks/pipeline.hpp"
+#include "common/sim_time.hpp"
+
+namespace ltefp::attacks {
+
+/// Ground-truth itinerary entry: the victim visits `zone` and uses `app`.
+struct ZoneVisit {
+  int zone = 0;  // 0-based zone index ("Zone A'" = 0, ...)
+  apps::AppId app = apps::AppId::kNetflix;
+  TimeMs duration = minutes(6);
+  /// Idle travel time after the visit (victim disconnected, moving).
+  TimeMs travel_after = seconds(30);
+};
+
+struct HistoryConfig {
+  lte::Operator op = lte::Operator::kTmobile;  // paper's Figure 5 network
+  int zones = 3;
+  std::uint64_t seed = 7;
+  std::vector<ZoneVisit> itinerary;
+};
+
+/// One reconstructed Table V row.
+struct HistoryObservation {
+  int zone = 0;
+  TimeMs start = 0;
+  TimeMs end = 0;
+  apps::AppCategory predicted_category = apps::AppCategory::kStreaming;
+  apps::AppId predicted_app = apps::AppId::kNetflix;
+  double f_score = 0.0;  // window-vote confidence for the winning app
+  apps::AppId true_app = apps::AppId::kNetflix;
+  bool correct = false;
+};
+
+struct HistoryResult {
+  std::vector<HistoryObservation> observations;
+  double success_rate = 0.0;  // fraction of visits with the app identified
+};
+
+class HistoryAttack {
+ public:
+  /// `pipeline` must already be trained (typically on the same operator).
+  explicit HistoryAttack(const FingerprintPipeline& pipeline);
+
+  /// Runs the full multi-zone scenario and reconstructs the visit history
+  /// purely from the sniffers' captures.
+  HistoryResult run(const HistoryConfig& config) const;
+
+  /// The paper's 12-attempt itinerary over three zones (Table V shape).
+  static std::vector<ZoneVisit> default_itinerary(std::uint64_t seed);
+
+ private:
+  const FingerprintPipeline& pipeline_;
+};
+
+}  // namespace ltefp::attacks

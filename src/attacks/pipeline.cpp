@@ -1,0 +1,130 @@
+#include "attacks/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ltefp::attacks {
+namespace {
+
+int category_of_label(int label) {
+  return static_cast<int>(apps::category_of(static_cast<apps::AppId>(label)));
+}
+
+}  // namespace
+
+features::Dataset dataset_from_traces(std::span<const CollectedTrace> traces,
+                                      const features::WindowConfig& window) {
+  features::Dataset data;
+  data.feature_names = features::feature_names();
+  data.label_names.resize(apps::kNumApps);
+  for (int i = 0; i < apps::kNumApps; ++i) {
+    data.label_names[static_cast<std::size_t>(i)] = apps::to_string(apps::kAllApps[static_cast<std::size_t>(i)]);
+  }
+  for (const auto& t : traces) {
+    features::append_windows(data, t.trace, t.session_start, window,
+                             static_cast<int>(t.app));
+  }
+  return data;
+}
+
+features::Dataset build_dataset(const PipelineConfig& config) {
+  CollectConfig collect;
+  collect.op = config.op;
+  collect.duration = config.trace_duration;
+  collect.day = config.day;
+  collect.day_jitter_range = config.session_day_range >= 0
+                                 ? config.session_day_range
+                                 : (config.op == lte::Operator::kLab ? 0 : 30);
+  collect.background_apps = config.background_apps;
+  collect.seed = config.seed;
+
+  std::vector<CollectedTrace> traces;
+  for (const apps::AppId app : apps::kAllApps) {
+    auto app_traces = collect_traces(app, config.traces_per_app, collect);
+    for (auto& t : app_traces) traces.push_back(std::move(t));
+  }
+  features::WindowConfig window;
+  window.window_ms = config.window_ms;
+  window.link = config.link;
+  return dataset_from_traces(traces, window);
+}
+
+FingerprintPipeline::FingerprintPipeline(PipelineConfig config) : config_(config) {}
+
+features::WindowConfig FingerprintPipeline::window_config() const {
+  features::WindowConfig window;
+  window.window_ms = config_.window_ms;
+  window.link = config_.link;
+  return window;
+}
+
+void FingerprintPipeline::train(const features::Dataset& train_set) {
+  if (train_set.empty()) throw std::invalid_argument("FingerprintPipeline::train: empty dataset");
+  const ml::ForestConfig forest = config_.forest;
+  model_ = std::make_unique<ml::HierarchicalClassifier>(
+      category_of_label, apps::kNumCategories,
+      [forest]() { return std::make_unique<ml::RandomForest>(forest); });
+  model_->fit(train_set);
+}
+
+int FingerprintPipeline::predict_window(const features::FeatureVector& x) const {
+  if (!model_) throw std::logic_error("FingerprintPipeline: not trained");
+  return model_->predict(x);
+}
+
+TraceVerdict FingerprintPipeline::classify_trace(const sniffer::Trace& trace,
+                                                 TimeMs session_start) const {
+  if (!model_) throw std::logic_error("FingerprintPipeline: not trained");
+  TraceVerdict verdict;
+  const auto windows = features::extract_windows(trace, session_start, window_config());
+  verdict.window_count = windows.size();
+  if (windows.empty()) return verdict;
+
+  std::vector<std::size_t> votes(apps::kNumApps, 0);
+  for (const auto& w : windows) {
+    ++votes[static_cast<std::size_t>(model_->predict(w))];
+  }
+  const auto winner =
+      static_cast<std::size_t>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+  verdict.app = static_cast<apps::AppId>(winner);
+  verdict.category = apps::category_of(verdict.app);
+  verdict.confidence = static_cast<double>(votes[winner]) / static_cast<double>(windows.size());
+  return verdict;
+}
+
+ml::ConfusionMatrix FingerprintPipeline::evaluate(const features::Dataset& test_set) const {
+  if (!model_) throw std::logic_error("FingerprintPipeline: not trained");
+  ml::ConfusionMatrix cm(apps::kNumApps);
+  for (const auto& s : test_set.samples) {
+    cm.add(s.label, model_->predict(s.features));
+  }
+  return cm;
+}
+
+std::vector<AppScore> scores_from_confusion(const ml::ConfusionMatrix& cm) {
+  std::vector<AppScore> scores;
+  scores.reserve(apps::kNumApps);
+  for (int i = 0; i < apps::kNumApps; ++i) {
+    AppScore s;
+    s.app = apps::kAllApps[static_cast<std::size_t>(i)];
+    s.f_score = cm.f_score(i);
+    s.precision = cm.precision(i);
+    s.recall = cm.recall(i);
+    scores.push_back(s);
+  }
+  return scores;
+}
+
+std::vector<AppScore> run_fingerprint_experiment(const PipelineConfig& config) {
+  const features::Dataset data = build_dataset(config);
+  Rng rng(config.seed ^ 0xABCDEF);
+  // Paper Table VIII: "Splitting of the dataset: 80% training, 20% testing".
+  auto [train, test] = features::train_test_split(data, 0.8, rng);
+  FingerprintPipeline pipeline(config);
+  pipeline.train(train);
+  return scores_from_confusion(pipeline.evaluate(test));
+}
+
+}  // namespace ltefp::attacks

@@ -1,0 +1,61 @@
+#include "attacks/retrain.hpp"
+
+#include <stdexcept>
+
+namespace ltefp::attacks {
+
+std::vector<MonitoringDay> simulate_sustained_monitoring(const PipelineConfig& config,
+                                                         int horizon_days,
+                                                         const RetrainPolicy& policy,
+                                                         const CostModel& cost_model) {
+  if (horizon_days <= 0) throw std::invalid_argument("simulate_sustained_monitoring: bad horizon");
+  if (policy.check_interval_days <= 0) {
+    throw std::invalid_argument("simulate_sustained_monitoring: bad check interval");
+  }
+
+  std::vector<MonitoringDay> series;
+  double cost = 0.0;
+  int trained_on_day = 0;
+
+  // Day-0 training set.
+  const auto train_at = [&](int day) {
+    PipelineConfig train_config = config;
+    train_config.day = day;
+    train_config.session_day_range = 0;  // a focused collection campaign
+    train_config.seed = config.seed + 7919ULL * static_cast<std::uint64_t>(day);
+    FingerprintPipeline pipeline(train_config);
+    pipeline.train(build_dataset(train_config));
+    cost += day == 0 ? cost_model.collecting_cost() + cost_model.training_cost()
+                     : cost_model.retraining_cost();
+    trained_on_day = day;
+    return pipeline;
+  };
+
+  FingerprintPipeline pipeline = train_at(0);
+
+  for (int day = 0; day <= horizon_days; day += policy.check_interval_days) {
+    // Collect that day's evaluation traffic (identification cost).
+    PipelineConfig test_config = config;
+    test_config.day = day;
+    test_config.session_day_range = 0;
+    test_config.seed = config.seed ^ (0xE7A1ULL * static_cast<std::uint64_t>(day + 1));
+    const features::Dataset test_set = build_dataset(test_config);
+    cost += cost_model.identification_cost();
+
+    MonitoringDay entry;
+    entry.day = day;
+    entry.weighted_f = pipeline.evaluate(test_set).weighted_f_score();
+    entry.model_age_days = day - trained_on_day;
+
+    if (entry.weighted_f < policy.threshold) {
+      // Re-collect fresh traffic at today's drift state and retrain.
+      pipeline = train_at(day);
+      entry.retrained = true;
+    }
+    entry.cumulative_cost = cost;
+    series.push_back(entry);
+  }
+  return series;
+}
+
+}  // namespace ltefp::attacks

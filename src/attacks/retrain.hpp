@@ -1,0 +1,46 @@
+// Sustained-monitoring simulation with adaptive retraining.
+//
+// Implements the paper's retraining loop (Section VI "Retraining the
+// classifier" + Section VII-D): the attacker monitors classifier
+// performance day by day as app traffic drifts (Fig. 8); whenever the
+// weighted F-score falls below the threshold X, they re-collect and
+// retrain, paying Retrain_cost (Eq. 3). The resulting day series shows the
+// sawtooth the cost model amortises.
+#pragma once
+
+#include <vector>
+
+#include "attacks/cost.hpp"
+#include "attacks/pipeline.hpp"
+
+namespace ltefp::attacks {
+
+struct RetrainPolicy {
+  /// Retrain when the measured weighted F-score drops below this (the
+  /// paper's X = 0.7).
+  double threshold = 0.70;
+  /// Days between performance measurements.
+  int check_interval_days = 1;
+};
+
+struct MonitoringDay {
+  int day = 0;
+  double weighted_f = 0.0;
+  bool retrained = false;    // a retrain was triggered *on* this day
+  int model_age_days = 0;    // days since the model was last (re)trained
+  double cumulative_cost = 0.0;  // cost-model units spent so far
+};
+
+/// Simulates `horizon_days` of monitoring on drifting traffic. The
+/// classifier starts freshly trained on day 0; each checked day collects
+/// evaluation traffic at that drift day and retrains per policy. Returns
+/// one entry per checked day.
+///
+/// `config` controls operator/scale (small values keep this affordable:
+/// each checked day costs one dataset collection).
+std::vector<MonitoringDay> simulate_sustained_monitoring(const PipelineConfig& config,
+                                                         int horizon_days,
+                                                         const RetrainPolicy& policy,
+                                                         const CostModel& cost_model);
+
+}  // namespace ltefp::attacks

@@ -1,0 +1,92 @@
+#include "common/csv.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace ltefp {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << (needs_quoting(cells[i]) ? quote(cells[i]) : cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        if (!cell.empty()) throw std::runtime_error("csv: quote inside unquoted cell");
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // next cell exists even if empty
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell += ch;
+        cell_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quoted cell");
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace ltefp

@@ -1,0 +1,25 @@
+// Minimal CSV reading/writing for persisting traces and datasets (the paper
+// releases its lab dataset; we support the same round-trip).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ltefp {
+
+/// Writes rows of string cells with RFC-4180 quoting where needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parses a whole CSV document (handles quoted cells, embedded commas,
+/// quotes, and newlines). Throws std::runtime_error on malformed input.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace ltefp

@@ -1,0 +1,38 @@
+// Tiny leveled logger. Disabled below `warn` by default so tests and
+// benchmarks stay quiet; examples crank it up for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ltefp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr as "[LEVEL] message" if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_message(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) { detail::log_fmt(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { detail::log_fmt(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { detail::log_fmt(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { detail::log_fmt(LogLevel::kError, args...); }
+
+}  // namespace ltefp

@@ -1,0 +1,18 @@
+#include "common/sim_time.hpp"
+
+#include <cstdio>
+
+namespace ltefp {
+
+std::string format_hms(TimeMs t) {
+  if (t < 0) t = 0;
+  const long long total_s = t / kMsPerSecond;
+  const long long h = total_s / 3600;
+  const long long m = (total_s / 60) % 60;
+  const long long s = total_s % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld", h, m, s);
+  return buf;
+}
+
+}  // namespace ltefp

@@ -1,0 +1,23 @@
+// Simulated time. The LTE MAC operates on 1 ms subframes, so the whole
+// simulator is clocked in integer milliseconds since experiment start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ltefp {
+
+/// Milliseconds since the start of a simulation run.
+using TimeMs = std::int64_t;
+
+constexpr TimeMs kMsPerSecond = 1000;
+constexpr TimeMs kMsPerMinute = 60 * kMsPerSecond;
+constexpr TimeMs kMsPerHour = 60 * kMsPerMinute;
+
+constexpr TimeMs seconds(double s) { return static_cast<TimeMs>(s * kMsPerSecond); }
+constexpr TimeMs minutes(double m) { return static_cast<TimeMs>(m * kMsPerMinute); }
+
+/// Renders a time as "H:MM:SS" (as used by the paper's Table V columns).
+std::string format_hms(TimeMs t);
+
+}  // namespace ltefp

@@ -1,0 +1,45 @@
+// Small statistics toolkit shared by feature extraction, the ML library,
+// and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ltefp {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable and
+/// usable single-pass over trace streams.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100]. Returns 0 for empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Pearson correlation coefficient; 0 if either side has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ltefp

@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ltefp {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto line = [&](char fill, char junction) {
+    std::string s;
+    s += junction;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      s.append(widths[c] + 2, fill);
+      s += junction;
+    }
+    s += '\n';
+    return s;
+  };
+  const auto row_text = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      s += ' ';
+      s += cell;
+      s.append(widths[c] - cell.size() + 1, ' ');
+      s += '|';
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  out << line('-', '+');
+  out << row_text(header_);
+  out << line('=', '+');
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out << line('-', '+');
+    } else {
+      out << row_text(row.cells);
+    }
+  }
+  out << line('-', '+');
+  return out.str();
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace ltefp

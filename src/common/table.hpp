@@ -1,0 +1,42 @@
+// Console table rendering used by the bench harnesses to print the paper's
+// tables (III-VIII) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ltefp {
+
+/// A simple text table: set a header, append rows, render aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a title banner, column alignment, and borders.
+  std::string render(const std::string& title = "") const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimals (default 3, like the
+/// paper's metric tables).
+std::string fmt(double value, int decimals = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.8535 -> "85.35%".
+std::string fmt_pct(double fraction, int decimals = 2);
+
+}  // namespace ltefp

@@ -1,0 +1,43 @@
+// Dynamic Time Warping (paper Section VII-C, Equation 1).
+//
+// The correlation attack compares two users' per-T_w frame-count series:
+// D(i,j) = d(i,j) + min(D(i-1,j-1), D(i-1,j), D(i,j-1)) with Euclidean
+// local cost, as in Berndt & Clifford. We additionally support a
+// Sakoe-Chiba band constraint and a path-length-normalised distance so
+// similarity scores are comparable across trace lengths.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ltefp::dtw {
+
+struct DtwOptions {
+  /// Sakoe-Chiba band half-width; negative = unconstrained.
+  int band = -1;
+  /// Normalise the accumulated distance by warping-path length.
+  bool normalize_by_path = true;
+};
+
+struct DtwResult {
+  double distance = 0.0;        // accumulated (optionally path-normalised)
+  std::size_t path_length = 0;  // warping path cells
+};
+
+/// DTW distance between two series. Either series empty => infinity-like
+/// large distance with path_length 0.
+DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
+                       const DtwOptions& options = {});
+
+/// Maps a (path-normalised) DTW distance to a similarity score in (0, 1]:
+/// exp(-distance / scale). `scale` tunes the contrast; the attack
+/// calibrates it per series magnitude.
+double similarity_from_distance(double distance, double scale);
+
+/// One-call similarity of two series with per-magnitude scaling: distance
+/// is normalised by the mean absolute level of the two series, so a pair
+/// of high-volume traces is not penalised for absolute size.
+double series_similarity(std::span<const double> a, std::span<const double> b,
+                         const DtwOptions& options = {});
+
+}  // namespace ltefp::dtw

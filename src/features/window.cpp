@@ -1,0 +1,138 @@
+#include "features/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+
+namespace ltefp::features {
+namespace {
+
+/// Builds the feature vector for the frames of one window.
+/// `prev_frame_time` is the time of the last frame before the window (or -1),
+/// capturing cross-window gaps (long chat lulls, streaming burst spacing).
+FeatureVector window_features(const sniffer::Trace& frames, TimeMs window_start,
+                              TimeMs window_ms, TimeMs session_start, TimeMs prev_frame_time) {
+  RunningStats size_all, size_dl, size_ul, inter;
+  std::unordered_set<lte::Rnti> rntis;
+  int dl_count = 0, ul_count = 0;
+  long long dl_bytes = 0, ul_bytes = 0;
+  std::unordered_set<TimeMs> active_ms;
+  TimeMs prev = prev_frame_time;
+  for (const auto& r : frames) {
+    size_all.add(r.tb_bytes);
+    if (r.direction == lte::Direction::kDownlink) {
+      size_dl.add(r.tb_bytes);
+      ++dl_count;
+      dl_bytes += r.tb_bytes;
+    } else {
+      size_ul.add(r.tb_bytes);
+      ++ul_count;
+      ul_bytes += r.tb_bytes;
+    }
+    if (prev >= 0) inter.add(static_cast<double>(r.time - prev));
+    prev = r.time;
+    rntis.insert(r.rnti);
+    active_ms.insert(r.time);
+  }
+
+  const double total_frames = static_cast<double>(frames.size());
+  const double total_bytes = static_cast<double>(dl_bytes + ul_bytes);
+  const double gap_before =
+      prev_frame_time >= 0 ? static_cast<double>(window_start - prev_frame_time)
+                           : static_cast<double>(window_start - session_start);
+
+  FeatureVector f(kFeatureCount, 0.0);
+  f[0] = total_frames;
+  f[1] = total_bytes;
+  f[2] = size_all.mean();
+  f[3] = size_all.stddev();
+  f[4] = frames.empty() ? 0.0 : size_all.min();
+  f[5] = size_all.max();
+  f[6] = frames.size() >= 2 ? inter.mean() : static_cast<double>(window_ms);
+  f[7] = inter.stddev();
+  f[8] = static_cast<double>(window_start - session_start) / 1000.0;  // cumulative time (s)
+  f[9] = total_frames > 0 ? dl_count / total_frames : 0.0;
+  f[10] = total_bytes > 0 ? static_cast<double>(dl_bytes) / total_bytes : 0.0;
+  f[11] = static_cast<double>(dl_count);
+  f[12] = static_cast<double>(ul_count);
+  f[13] = static_cast<double>(active_ms.size()) / static_cast<double>(window_ms);
+  f[14] = static_cast<double>(rntis.size());
+  f[15] = std::min(gap_before, 60'000.0);  // bounded pre-window silence
+  // Size histogram: fraction of frames per TBS band. Means/stddevs blur
+  // multimodal windows (e.g. "one big message + one tiny ack"); the band
+  // fractions preserve the mixture, which separates same-category apps.
+  if (!frames.empty()) {
+    int tiny = 0, small = 0, mid = 0, large = 0, huge = 0;
+    std::vector<double> sizes;
+    sizes.reserve(frames.size());
+    for (const auto& r : frames) {
+      sizes.push_back(static_cast<double>(r.tb_bytes));
+      if (r.tb_bytes <= 50) {
+        ++tiny;
+      } else if (r.tb_bytes <= 150) {
+        ++small;
+      } else if (r.tb_bytes <= 400) {
+        ++mid;
+      } else if (r.tb_bytes <= 1000) {
+        ++large;
+      } else {
+        ++huge;
+      }
+    }
+    f[16] = tiny / total_frames;
+    f[17] = small / total_frames;
+    f[18] = mid / total_frames;
+    f[19] = large / total_frames;
+    f[20] = huge / total_frames;
+    std::nth_element(sizes.begin(), sizes.begin() + sizes.size() / 2, sizes.end());
+    f[21] = sizes[sizes.size() / 2];  // median frame size
+  }
+  return f;
+}
+
+}  // namespace
+
+std::vector<std::string> feature_names() {
+  return {"frame_count",    "total_bytes",   "mean_size",     "std_size",
+          "min_size",       "max_size",      "mean_interarrival", "std_interarrival",
+          "cumulative_time", "dl_frame_frac", "dl_byte_frac",  "dl_count",
+          "ul_count",       "active_ms_frac", "rnti_count",    "gap_before_ms",
+          "size_frac_tiny", "size_frac_small", "size_frac_mid", "size_frac_large",
+          "size_frac_huge", "median_size"};
+}
+
+std::vector<FeatureVector> extract_windows(const sniffer::Trace& trace, TimeMs session_start,
+                                           const WindowConfig& config) {
+  std::vector<FeatureVector> out;
+  const sniffer::Trace filtered = filter_direction(trace, config.link);
+  if (filtered.empty()) return out;
+
+  const TimeMs window = config.window_ms;
+  const TimeMs last_time = filtered.back().time;
+  std::size_t idx = 0;
+  TimeMs prev_frame_time = -1;
+  for (TimeMs ws = session_start; ws <= last_time; ws += window) {
+    sniffer::Trace frames;
+    while (idx < filtered.size() && filtered[idx].time < ws + window) {
+      if (filtered[idx].time >= ws) frames.push_back(filtered[idx]);
+      ++idx;
+    }
+    if (!frames.empty() || config.include_empty) {
+      out.push_back(window_features(frames, ws, window, session_start, prev_frame_time));
+    }
+    if (!frames.empty()) prev_frame_time = frames.back().time;
+  }
+  return out;
+}
+
+void append_windows(Dataset& dataset, const sniffer::Trace& trace, TimeMs session_start,
+                    const WindowConfig& config, int label) {
+  if (dataset.feature_names.empty()) dataset.feature_names = feature_names();
+  for (auto& f : extract_windows(trace, session_start, config)) {
+    dataset.add(std::move(f), label);
+  }
+}
+
+}  // namespace ltefp::features

@@ -1,0 +1,41 @@
+// Sliding-window feature extraction (paper Sections V-VI).
+//
+// The classifier never sees whole sessions: to support "asynchronous
+// sessions, where the machine learning algorithm has no knowledge about
+// where the sessions in the trace begin and end", the trace is cut into
+// fixed-size time windows (paper default: 100 ms) and the frames in each
+// window are aggregated into one feature vector built from the Table II
+// vectors — time (interarrival, cumulative), size (TBS), direction
+// (UL/DL), and identity (RNTI churn).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "features/dataset.hpp"
+#include "lte/types.hpp"
+#include "sniffer/trace.hpp"
+
+namespace ltefp::features {
+
+struct WindowConfig {
+  TimeMs window_ms = 100;                              // paper's empirical choice
+  lte::LinkFilter link = lte::LinkFilter::kBoth;       // Down+Up / Down / Up
+  bool include_empty = false;                          // emit all-zero windows too
+};
+
+/// Names of the extracted features, in vector order.
+std::vector<std::string> feature_names();
+constexpr std::size_t kFeatureCount = 22;
+
+/// Extracts one feature vector per (non-empty, by default) window.
+/// `trace` must be time-ordered; `session_start` anchors window 0 and the
+/// cumulative-time feature.
+std::vector<FeatureVector> extract_windows(const sniffer::Trace& trace, TimeMs session_start,
+                                           const WindowConfig& config);
+
+/// Convenience: extract and append to `dataset` with the given label.
+void append_windows(Dataset& dataset, const sniffer::Trace& trace, TimeMs session_start,
+                    const WindowConfig& config, int label);
+
+}  // namespace ltefp::features

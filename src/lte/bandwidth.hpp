@@ -1,0 +1,22 @@
+// LTE channel bandwidth to PRB-count mapping (TS 36.101 Table 5.6-1).
+#pragma once
+
+#include <stdexcept>
+
+namespace ltefp::lte {
+
+enum class Bandwidth { kMhz1_4, kMhz3, kMhz5, kMhz10, kMhz15, kMhz20 };
+
+constexpr int prb_count(Bandwidth bw) {
+  switch (bw) {
+    case Bandwidth::kMhz1_4: return 6;
+    case Bandwidth::kMhz3: return 15;
+    case Bandwidth::kMhz5: return 25;
+    case Bandwidth::kMhz10: return 50;
+    case Bandwidth::kMhz15: return 75;
+    case Bandwidth::kMhz20: return 100;
+  }
+  throw std::invalid_argument("prb_count: unknown bandwidth");
+}
+
+}  // namespace ltefp::lte

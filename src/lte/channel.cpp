@@ -1,0 +1,32 @@
+#include "lte/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltefp::lte {
+
+ChannelModel::ChannelModel(ChannelConfig config, Rng rng)
+    : config_(config), rng_(rng), snr_db_(config.mean_snr_db) {}
+
+double ChannelModel::step() {
+  const double pull = config_.reversion * (config_.mean_snr_db - snr_db_);
+  const double noise = config_.volatility_db > 0.0 ? rng_.normal(0.0, config_.volatility_db) : 0.0;
+  snr_db_ = std::clamp(snr_db_ + pull + noise, config_.min_snr_db, config_.max_snr_db);
+  return snr_db_;
+}
+
+int ChannelModel::cqi_from_snr(double snr_db) {
+  // Linear map of the usable range [-6 dB, 30 dB] onto CQI 1..15.
+  const double t = (snr_db + 6.0) / 36.0;
+  const int cqi = 1 + static_cast<int>(std::floor(t * 14.0));
+  return std::clamp(cqi, 1, 15);
+}
+
+int ChannelModel::mcs_from_cqi(int cqi) {
+  cqi = std::clamp(cqi, 1, 15);
+  // Standard practice: map the 15 CQI steps across the 29 MCS indices.
+  const int mcs = (cqi * 2) - 2;
+  return std::clamp(mcs, 0, 28);
+}
+
+}  // namespace ltefp::lte

@@ -1,0 +1,50 @@
+// Per-UE radio channel quality model.
+//
+// Drives the link adaptation loop: the UE reports CQI derived from its SNR,
+// the eNB picks the MCS from the CQI. Real-world operator cells show far
+// more SNR churn than the paper's lab cell (multipath, mobility, load);
+// volatility is therefore an OperatorProfile knob, and is one of the
+// mechanisms behind the lab -> real-world accuracy drop in Tables III/IV.
+//
+// The SNR follows a mean-reverting AR(1) (Gauss-Markov) process, the
+// standard discrete-time model for shadow-fading dynamics.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace ltefp::lte {
+
+struct ChannelConfig {
+  double mean_snr_db = 24.0;   // long-run average
+  double volatility_db = 0.0;  // innovation stddev per update
+  double reversion = 0.05;     // pull toward the mean per update, in [0,1]
+  double min_snr_db = -5.0;
+  double max_snr_db = 30.0;
+};
+
+class ChannelModel {
+ public:
+  ChannelModel(ChannelConfig config, Rng rng);
+
+  /// Advances the fading process one update step and returns the new SNR.
+  double step();
+
+  double snr_db() const { return snr_db_; }
+
+  /// Wideband CQI 1..15 for an SNR (TS 36.213-style mapping: roughly one
+  /// CQI step per ~1.9 dB across the -6..22 dB operating range).
+  static int cqi_from_snr(double snr_db);
+
+  /// I_MCS 0..28 the eNB scheduler selects for a reported CQI.
+  static int mcs_from_cqi(int cqi);
+
+  /// Convenience: current MCS for this channel state.
+  int current_mcs() const { return mcs_from_cqi(cqi_from_snr(snr_db_)); }
+
+ private:
+  ChannelConfig config_;
+  Rng rng_;
+  double snr_db_;
+};
+
+}  // namespace ltefp::lte

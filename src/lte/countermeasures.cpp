@@ -1,0 +1,11 @@
+#include "lte/countermeasures.hpp"
+
+namespace ltefp::lte {
+
+int pad_tb_bytes(int tb_bytes, const CountermeasureConfig& config) {
+  if (config.pad_to_bytes <= 0 || tb_bytes <= 0) return tb_bytes;
+  const int ladder = config.pad_to_bytes;
+  return ((tb_bytes + ladder - 1) / ladder) * ladder;
+}
+
+}  // namespace ltefp::lte

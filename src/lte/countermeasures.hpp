@@ -1,0 +1,44 @@
+// Countermeasures from the paper's Section VIII-B, implemented so their
+// cost/benefit can be measured (bench_countermeasures):
+//
+//  - Frequent RNTI reassignment: "a frequent reassignment of the RNTI from
+//    the base station can disrupt the tracking and collecting of LTE
+//    traffic". Modelled as a periodic forced RRC reconfiguration that
+//    re-keys the C-RNTI mid-connection without any on-air identity
+//    exchange the sniffer could exploit.
+//  - Layer-two traffic obfuscation (Wright et al. traffic morphing): pad
+//    every transport block up to the next size of a coarse ladder and
+//    inject dummy grants, hiding the per-app TBS structure at the price of
+//    radio-resource overhead.
+//
+// Both are radio-side features: they wrap the clean attack-side knobs the
+// benches sweep.
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace ltefp::lte {
+
+struct CountermeasureConfig {
+  /// Forced C-RNTI re-key period while connected; 0 disables. The paper's
+  /// suggestion: frequent enough that a tracker cannot follow.
+  TimeMs rnti_rekey_period = 0;
+
+  /// TBS padding ladder: grants are rounded up to the next multiple of
+  /// this many bytes (0 disables). Coarser ladder = stronger morphing =
+  /// more wasted PRBs.
+  int pad_to_bytes = 0;
+
+  /// Probability per subframe of emitting a dummy grant to a connected UE
+  /// with no pending data (chaff traffic).
+  double dummy_grant_rate = 0.0;
+
+  bool enabled() const {
+    return rnti_rekey_period > 0 || pad_to_bytes > 0 || dummy_grant_rate > 0.0;
+  }
+};
+
+/// Padded size on the ladder (identity when padding is disabled).
+int pad_tb_bytes(int tb_bytes, const CountermeasureConfig& config);
+
+}  // namespace ltefp::lte

@@ -1,0 +1,28 @@
+#include "lte/crc.hpp"
+
+namespace ltefp::lte {
+
+std::uint16_t crc16(std::span<const std::uint8_t> payload) {
+  std::uint16_t crc = 0x0000;
+  for (std::uint8_t byte : payload) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+std::uint16_t crc16_masked(std::span<const std::uint8_t> payload, Rnti rnti) {
+  return static_cast<std::uint16_t>(crc16(payload) ^ rnti);
+}
+
+Rnti recover_rnti(std::span<const std::uint8_t> payload, std::uint16_t masked_crc) {
+  return static_cast<Rnti>(crc16(payload) ^ masked_crc);
+}
+
+}  // namespace ltefp::lte

@@ -1,0 +1,42 @@
+#include "lte/epc.hpp"
+
+namespace ltefp::lte {
+
+Epc::Epc(Rng rng) : rng_(rng) {}
+
+Tmsi Epc::fresh_tmsi() {
+  for (;;) {
+    const auto candidate = static_cast<Tmsi>(rng_());
+    if (candidate != 0 && !by_tmsi_.contains(candidate)) return candidate;
+  }
+}
+
+Tmsi Epc::attach(Imsi imsi) {
+  if (const auto it = by_imsi_.find(imsi); it != by_imsi_.end()) return it->second;
+  const Tmsi tmsi = fresh_tmsi();
+  by_imsi_.emplace(imsi, tmsi);
+  by_tmsi_.emplace(tmsi, imsi);
+  return tmsi;
+}
+
+Tmsi Epc::reallocate_tmsi(Imsi imsi) {
+  if (const auto it = by_imsi_.find(imsi); it != by_imsi_.end()) {
+    by_tmsi_.erase(it->second);
+    by_imsi_.erase(it);
+  }
+  return attach(imsi);
+}
+
+std::optional<Tmsi> Epc::tmsi_of(Imsi imsi) const {
+  const auto it = by_imsi_.find(imsi);
+  if (it == by_imsi_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Imsi> Epc::imsi_of(Tmsi tmsi) const {
+  const auto it = by_tmsi_.find(tmsi);
+  if (it == by_tmsi_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ltefp::lte

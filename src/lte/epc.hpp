@@ -1,0 +1,43 @@
+// Minimal Evolved Packet Core: subscriber registry and TMSI allocation.
+//
+// The EPC assigns each attached subscriber a TMSI (Section II-A). TMSIs are
+// much longer-lived than RNTIs and survive cell changes within a tracking
+// area, which is what makes the paper's cross-cell history attack possible
+// once RNTI -> TMSI mapping is done per cell.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lte/types.hpp"
+
+namespace ltefp::lte {
+
+class Epc {
+ public:
+  explicit Epc(Rng rng);
+
+  /// Registers a subscriber, assigning a fresh TMSI. Re-attaching an already
+  /// known IMSI keeps its TMSI (periodic reallocation is modelled by
+  /// `reallocate_tmsi`).
+  Tmsi attach(Imsi imsi);
+
+  /// GUTI reallocation: issues a new TMSI for the subscriber.
+  Tmsi reallocate_tmsi(Imsi imsi);
+
+  std::optional<Tmsi> tmsi_of(Imsi imsi) const;
+  std::optional<Imsi> imsi_of(Tmsi tmsi) const;
+
+  std::size_t subscriber_count() const { return by_imsi_.size(); }
+
+ private:
+  Tmsi fresh_tmsi();
+
+  Rng rng_;
+  std::unordered_map<Imsi, Tmsi> by_imsi_;
+  std::unordered_map<Tmsi, Imsi> by_tmsi_;
+};
+
+}  // namespace ltefp::lte

@@ -1,0 +1,204 @@
+#include "lte/network.hpp"
+
+#include <stdexcept>
+
+namespace ltefp::lte {
+namespace {
+
+constexpr TimeMs kPageRetryInterval = 500;  // ms between paging attempts
+
+}  // namespace
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed), epc_(rng_.fork()) {}
+
+CellId Simulation::add_cell(const OperatorProfile& profile) {
+  return add_cell(profile, CountermeasureConfig{}, false);
+}
+
+CellId Simulation::add_cell(const OperatorProfile& profile,
+                            const CountermeasureConfig& countermeasures,
+                            bool conceal_identity) {
+  const auto cell = static_cast<CellId>(enbs_.size());
+  EnbConfig config;
+  config.cell = cell;
+  config.profile = profile;
+  config.countermeasures = countermeasures;
+  config.conceal_identity = conceal_identity;
+  enbs_.push_back(std::make_unique<Enb>(config, rng_.fork()));
+  return cell;
+}
+
+UeId Simulation::add_ue(Imsi imsi) {
+  const UeId ue = next_ue_++;
+  UeState st;
+  st.imsi = imsi;
+  st.tmsi = epc_.attach(imsi);
+  ues_.emplace(ue, std::move(st));
+  return ue;
+}
+
+void Simulation::set_traffic_source(UeId ue, std::unique_ptr<TrafficSource> source) {
+  state_of(ue).source = std::move(source);
+}
+
+Enb& Simulation::enb_of(CellId cell) {
+  if (cell >= enbs_.size()) throw std::out_of_range("Simulation: unknown cell");
+  return *enbs_[cell];
+}
+const Enb& Simulation::enb_of(CellId cell) const {
+  if (cell >= enbs_.size()) throw std::out_of_range("Simulation: unknown cell");
+  return *enbs_[cell];
+}
+
+Simulation::UeState& Simulation::state_of(UeId ue) {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) throw std::out_of_range("Simulation: unknown UE");
+  return it->second;
+}
+const Simulation::UeState& Simulation::state_of(UeId ue) const {
+  const auto it = ues_.find(ue);
+  if (it == ues_.end()) throw std::out_of_range("Simulation: unknown UE");
+  return it->second;
+}
+
+void Simulation::camp(UeId ue, CellId cell) {
+  if (cell >= enbs_.size()) throw std::out_of_range("Simulation::camp: unknown cell");
+  auto& st = state_of(ue);
+  if (st.camped != kNoCell && st.state != RrcState::kIdle) {
+    enb_of(st.camped).release_ue(ue, now_);
+  }
+  st.camped = cell;
+  st.state = RrcState::kIdle;
+}
+
+void Simulation::connect(UeId ue) {
+  auto& st = state_of(ue);
+  if (st.camped == kNoCell || st.state != RrcState::kIdle) return;
+  enb_of(st.camped).start_connection(ue, st.tmsi, now_);
+  st.state = RrcState::kConnecting;
+}
+
+void Simulation::move(UeId ue, CellId target) {
+  if (target >= enbs_.size()) throw std::out_of_range("Simulation::move: unknown cell");
+  auto& st = state_of(ue);
+  if (st.camped == target) return;
+  if (st.state == RrcState::kConnected || st.state == RrcState::kConnecting) {
+    // X2-style handover: leave the source silently, contention-free RACH in
+    // the target under a brand-new C-RNTI.
+    if (st.camped != kNoCell) enb_of(st.camped).release_ue(ue, now_);
+    st.camped = target;
+    st.state = RrcState::kConnecting;
+    enb_of(target).admit_handover(ue, st.tmsi, now_);
+  } else {
+    st.camped = target;  // idle reselection
+  }
+}
+
+void Simulation::add_observer(CellId cell, PdcchObserver& observer) {
+  if (cell >= enbs_.size()) throw std::out_of_range("Simulation: unknown cell");
+  observers_[cell].push_back(&observer);
+}
+
+void Simulation::deliver_pending(UeId ue, UeState& st) {
+  auto& enb = enb_of(st.camped);
+  if (st.pending_ul > 0) {
+    enb.push_traffic(ue, Direction::kUplink, st.pending_ul, now_);
+    st.pending_ul = 0;
+  }
+  if (st.pending_dl > 0) {
+    enb.push_traffic(ue, Direction::kDownlink, st.pending_dl, now_);
+    st.pending_dl = 0;
+  }
+}
+
+void Simulation::step() {
+  // 1. Application traffic generation and connection triggering.
+  for (auto& [ue, st] : ues_) {
+    if (st.source) {
+      packet_scratch_.clear();
+      st.source->step(now_, packet_scratch_);
+      for (const AppPacket& pkt : packet_scratch_) {
+        if (pkt.bytes <= 0) continue;
+        if (st.state == RrcState::kConnected) {
+          enb_of(st.camped).push_traffic(ue, pkt.direction, pkt.bytes, now_);
+        } else if (pkt.direction == Direction::kUplink) {
+          st.pending_ul += pkt.bytes;
+        } else {
+          st.pending_dl += pkt.bytes;
+        }
+      }
+    }
+    if (st.state == RrcState::kIdle && st.camped != kNoCell) {
+      if (st.pending_ul > 0) {
+        // Mobile-originated data: UE RACHes on its own.
+        enb_of(st.camped).start_connection(ue, st.tmsi, now_);
+        st.state = RrcState::kConnecting;
+      } else if (st.pending_dl > 0 && now_ >= st.page_retry_at) {
+        // Mobile-terminated data: the core pages, the UE answers with RACH.
+        enb_of(st.camped).page(st.tmsi);
+        enb_of(st.camped).start_connection(ue, st.tmsi, now_);
+        st.state = RrcState::kConnecting;
+        st.page_retry_at = now_ + kPageRetryInterval;
+      }
+    }
+  }
+
+  // 2. Per-cell subframe processing and event dispatch.
+  for (auto& enb : enbs_) {
+    EnbStepResult result = enb->step(now_);
+
+    for (const auto& est : result.established) {
+      const auto it = ues_.find(est.ue);
+      if (it == ues_.end()) continue;
+      auto& st = it->second;
+      st.state = RrcState::kConnected;
+      deliver_pending(est.ue, st);
+    }
+    for (const UeId released : result.released) {
+      const auto it = ues_.find(released);
+      if (it != ues_.end() && it->second.camped == enb->cell()) {
+        it->second.state = RrcState::kIdle;
+      }
+    }
+
+    const auto obs_it = observers_.find(enb->cell());
+    if (obs_it != observers_.end()) {
+      for (PdcchObserver* obs : obs_it->second) {
+        for (const auto& e : result.rach) obs->on_rach(e);
+        for (const auto& e : result.rars) obs->on_rar(e);
+        for (const auto& e : result.rrc_requests) obs->on_rrc_request(e);
+        for (const auto& e : result.rrc_setups) obs->on_rrc_setup(e);
+        for (const auto& e : result.rrc_releases) obs->on_rrc_release(e);
+        obs->on_subframe(result.pdcch);
+      }
+    }
+  }
+
+  ++now_;
+}
+
+void Simulation::run_for(TimeMs duration) {
+  const TimeMs end = now_ + duration;
+  while (now_ < end) step();
+}
+
+std::optional<Rnti> Simulation::current_rnti(UeId ue) const {
+  const auto& st = state_of(ue);
+  if (st.camped == kNoCell) return std::nullopt;
+  return enb_of(st.camped).rnti_of(ue);
+}
+
+Tmsi Simulation::tmsi_of(UeId ue) const { return state_of(ue).tmsi; }
+Imsi Simulation::imsi_of(UeId ue) const { return state_of(ue).imsi; }
+
+bool Simulation::is_connected(UeId ue) const {
+  return state_of(ue).state == RrcState::kConnected;
+}
+
+CellId Simulation::camped_cell(UeId ue) const { return state_of(ue).camped; }
+
+const OperatorProfile& Simulation::cell_profile(CellId cell) const {
+  return enb_of(cell).profile();
+}
+
+}  // namespace ltefp::lte

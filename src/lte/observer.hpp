@@ -1,0 +1,28 @@
+// Interface for anything listening to a cell's air interface — in this
+// project, the passive sniffer (src/sniffer). An observer receives exactly
+// what is broadcast in plain text: PDCCH subframes and the unprotected
+// RACH/RRC connection-establishment messages. Nothing here exposes
+// simulator-internal state (UeIds, buffers, ground truth).
+#pragma once
+
+#include "lte/dci.hpp"
+#include "lte/rrc.hpp"
+
+namespace ltefp::lte {
+
+class PdcchObserver {
+ public:
+  virtual ~PdcchObserver() = default;
+
+  /// Full PDCCH content of one subframe (encoded DCIs, CRCs RNTI-masked).
+  virtual void on_subframe(const PdcchSubframe& subframe) = 0;
+
+  // RACH / RRC connection procedure, all observable over the air.
+  virtual void on_rach(const RachPreamble&) {}
+  virtual void on_rar(const RandomAccessResponse&) {}
+  virtual void on_rrc_request(const RrcConnectionRequest&) {}
+  virtual void on_rrc_setup(const RrcConnectionSetup&) {}
+  virtual void on_rrc_release(const RrcConnectionRelease&) {}
+};
+
+}  // namespace ltefp::lte

@@ -1,0 +1,94 @@
+#include "lte/operator_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ltefp::lte {
+
+OperatorProfile operator_profile(Operator op) {
+  OperatorProfile p;
+  p.op = op;
+  switch (op) {
+    case Operator::kLab:
+      // Self-configured srsLTE eNodeB in a Faraday cage: one cell, no
+      // competing users, sniffer co-located, static channel.
+      p.bandwidth = Bandwidth::kMhz10;
+      p.scheduler = SchedulerKind::kRoundRobin;
+      p.background_ues = 0;
+      p.background_load_bps = 0.0;
+      p.channel_volatility_db = 0.15;
+      p.mean_snr_db = 21.0;  // solid indoor cell: MCS ~22, fine TBS granularity
+      p.sniffer_miss_rate = 0.0;
+      p.sniffer_false_rate = 0.0;
+      p.max_prb_per_ue = 50;
+      p.session_snr_jitter_db = 0.3;   // same bench, same Faraday cage
+      p.session_load_jitter = 0.0;
+      p.harq_bler = 0.01;
+      break;
+    case Operator::kVerizon:
+      p.bandwidth = Bandwidth::kMhz20;
+      p.scheduler = SchedulerKind::kProportionalFair;
+      p.background_ues = 30;
+      p.background_load_bps = 90'000.0;
+      p.channel_volatility_db = 2.0;
+      p.mean_snr_db = 19.0;
+      p.sniffer_miss_rate = 0.030;
+      p.sniffer_false_rate = 0.002;
+      p.max_prb_per_ue = 64;
+      p.inactivity_timeout = 10'000;
+      p.session_snr_jitter_db = 3.2;
+      p.session_load_jitter = 0.45;
+      p.harq_bler = 0.08;
+      break;
+    case Operator::kAtt:
+      p.bandwidth = Bandwidth::kMhz15;
+      p.scheduler = SchedulerKind::kProportionalFair;
+      p.background_ues = 25;
+      p.background_load_bps = 80'000.0;
+      p.channel_volatility_db = 2.2;
+      p.mean_snr_db = 18.0;
+      p.sniffer_miss_rate = 0.035;
+      p.sniffer_false_rate = 0.002;
+      p.max_prb_per_ue = 50;
+      p.inactivity_timeout = 11'000;
+      p.session_snr_jitter_db = 3.0;
+      p.session_load_jitter = 0.5;
+      p.harq_bler = 0.09;
+      break;
+    case Operator::kTmobile:
+      p.bandwidth = Bandwidth::kMhz10;
+      p.scheduler = SchedulerKind::kProportionalFair;
+      p.background_ues = 20;
+      p.background_load_bps = 58'000.0;
+      p.channel_volatility_db = 2.4;
+      p.mean_snr_db = 18.2;
+      p.sniffer_miss_rate = 0.040;
+      p.sniffer_false_rate = 0.003;
+      p.max_prb_per_ue = 48;
+      p.inactivity_timeout = 8'000;
+      p.session_snr_jitter_db = 2.6;
+      p.session_load_jitter = 0.45;
+      p.harq_bler = 0.10;
+      break;
+  }
+  return p;
+}
+
+OperatorProfile perturb_for_session(const OperatorProfile& profile, std::uint64_t seed) {
+  OperatorProfile p = profile;
+  Rng rng(seed ^ 0x5E5510DULL);
+  p.mean_snr_db += rng.normal(0.0, profile.session_snr_jitter_db);
+  p.mean_snr_db = std::clamp(p.mean_snr_db, 2.0, 28.0);
+  if (profile.session_load_jitter > 0.0 && profile.background_ues > 0) {
+    const double scale =
+        std::max(0.2, 1.0 + rng.normal(0.0, profile.session_load_jitter));
+    p.background_ues =
+        std::max(1, static_cast<int>(std::lround(profile.background_ues * scale)));
+    p.background_load_bps *= std::max(0.3, 1.0 + rng.normal(0.0, profile.session_load_jitter));
+  }
+  return p;
+}
+
+}  // namespace ltefp::lte

@@ -1,0 +1,79 @@
+// Per-operator cell configuration profiles.
+//
+// The paper trains one model per mobile network operator because
+// "operator-specific configuration, such as the specific resource
+// scheduling algorithms that eNodeBs use ... affect the radio resource
+// allocation" (Section VII). These profiles encode the knobs through which
+// that heterogeneity — and the lab/real-world gap of Tables III vs IV —
+// enters the simulation:
+//   - channel bandwidth (PRB budget),
+//   - MAC scheduling discipline,
+//   - cell load (number of competing background UEs and their activity),
+//   - RRC inactivity timeout (drives RNTI refresh cadence),
+//   - channel volatility (MCS churn -> TBS churn for identical app data),
+//   - sniffer decode-miss probability (SDR reception is imperfect in the
+//     field; in the lab the sniffer sits next to the eNodeB).
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+#include "lte/bandwidth.hpp"
+#include "lte/scheduler.hpp"
+#include "lte/types.hpp"
+
+namespace ltefp::lte {
+
+struct OperatorProfile {
+  Operator op = Operator::kLab;
+  Bandwidth bandwidth = Bandwidth::kMhz10;
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+
+  /// Competing UEs the operator's cell serves besides the experiment UEs.
+  int background_ues = 0;
+  /// Mean per-background-UE offered load, bytes per second (bursty web-like
+  /// traffic is generated around this mean).
+  double background_load_bps = 0.0;
+
+  /// RRC inactivity timeout before the eNB releases the connection
+  /// (paper Section II-A: default 10 s).
+  TimeMs inactivity_timeout = 10'000;
+
+  /// Shadow-fading innovation per step, dB (0 = perfectly static lab cell).
+  double channel_volatility_db = 0.0;
+  /// Long-run mean SNR of experiment UEs.
+  double mean_snr_db = 24.0;
+
+  /// Probability the sniffer fails to decode any given DCI in this
+  /// environment.
+  double sniffer_miss_rate = 0.0;
+  /// Probability a decoded DCI is a false detection (CRC aliasing onto a
+  /// plausible RNTI), per subframe.
+  double sniffer_false_rate = 0.0;
+
+  /// Largest single-UE grant per TTI (operators cap this to keep the
+  /// control channel fair under load).
+  int max_prb_per_ue = 100;
+
+  /// HARQ block-error rate: fraction of transport blocks that fail and are
+  /// retransmitted ~8 ms later. Link adaptation targets ~10% BLER on live
+  /// networks; the cabled lab link is nearly error-free. Retransmissions
+  /// appear on the PDCCH as duplicate grants (NDI not toggled) — noise a
+  /// real sniffer capture always contains.
+  double harq_bler = 0.0;
+
+  /// Session-to-session variation: each capture session happens at a
+  /// different time and place, so its mean SNR and cell load differ from
+  /// the training sessions'. This train/test distribution shift is the
+  /// main driver of the paper's lab -> real-world accuracy drop.
+  double session_snr_jitter_db = 0.0;
+  double session_load_jitter = 0.0;  // relative stddev of background load
+};
+
+/// Applies deterministic per-session perturbations derived from `seed`.
+OperatorProfile perturb_for_session(const OperatorProfile& profile, std::uint64_t seed);
+
+/// Canonical profile for a given operator, matching DESIGN.md.
+OperatorProfile operator_profile(Operator op);
+
+}  // namespace ltefp::lte

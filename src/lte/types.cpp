@@ -1,0 +1,28 @@
+#include "lte/types.hpp"
+
+namespace ltefp::lte {
+
+const char* to_string(Direction d) {
+  return d == Direction::kDownlink ? "DL" : "UL";
+}
+
+bool direction_passes(LinkFilter filter, Direction d) {
+  switch (filter) {
+    case LinkFilter::kBoth: return true;
+    case LinkFilter::kDownlinkOnly: return d == Direction::kDownlink;
+    case LinkFilter::kUplinkOnly: return d == Direction::kUplink;
+  }
+  return false;
+}
+
+const char* to_string(Operator op) {
+  switch (op) {
+    case Operator::kLab: return "Lab";
+    case Operator::kVerizon: return "Verizon";
+    case Operator::kAtt: return "AT&T";
+    case Operator::kTmobile: return "T-Mobile";
+  }
+  return "?";
+}
+
+}  // namespace ltefp::lte

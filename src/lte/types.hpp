@@ -1,0 +1,49 @@
+// Fundamental LTE identifier and direction types shared across the stack.
+//
+// Terminology follows 3GPP TS 36.300/36.321/36.331 and the paper's Section II:
+//  - RNTI: Radio Network Temporary Identifier, assigned per-connection by the
+//    eNB and carried (as a CRC mask) in every DCI on the PDCCH.
+//  - TMSI: Temporary Mobile Subscriber Identity, assigned by the EPC at
+//    attach; longer-lived than an RNTI but scoped to a tracking area.
+//  - IMSI: permanent subscriber identity stored in the SIM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.hpp"
+
+namespace ltefp::lte {
+
+using Rnti = std::uint16_t;
+using Tmsi = std::uint32_t;
+using Imsi = std::uint64_t;
+using CellId = std::uint16_t;   // physical cell id (0..503 in real LTE)
+using UeId = std::uint32_t;     // simulator-internal handle, never on the air
+
+/// C-RNTI value space per TS 36.321 Table 7.1-1: 0x003D..0xFFF3 are usable
+/// C-RNTIs; values outside are reserved (RA-RNTI, P-RNTI, SI-RNTI...).
+constexpr Rnti kMinCRnti = 0x003D;
+constexpr Rnti kMaxCRnti = 0xFFF3;
+
+/// P-RNTI used for paging per TS 36.321.
+constexpr Rnti kPagingRnti = 0xFFFE;
+
+/// Link direction of a transport block / DCI grant.
+enum class Direction : std::uint8_t { kDownlink = 0, kUplink = 1 };
+
+const char* to_string(Direction d);
+
+/// Which link(s) an experiment consumes; the paper evaluates Down+Up,
+/// Down-only, and Up-only variants (Table III) and Downlink-only in the
+/// real-world setting (Table IV).
+enum class LinkFilter : std::uint8_t { kBoth, kDownlinkOnly, kUplinkOnly };
+
+bool direction_passes(LinkFilter filter, Direction d);
+
+/// Mobile network operators evaluated in the paper plus the lab eNodeB.
+enum class Operator : std::uint8_t { kLab = 0, kVerizon = 1, kAtt = 2, kTmobile = 3 };
+
+const char* to_string(Operator op);
+
+}  // namespace ltefp::lte

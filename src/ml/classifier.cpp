@@ -1,0 +1,12 @@
+#include "ml/classifier.hpp"
+
+namespace ltefp::ml {
+
+std::vector<int> predict_all(const Classifier& model, const Dataset& data) {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& s : data.samples) out.push_back(model.predict(s.features));
+  return out;
+}
+
+}  // namespace ltefp::ml

@@ -1,0 +1,34 @@
+// Common interface for the supervised learners benchmarked by the paper's
+// Table VIII (Logistic Regression, kNN, CNN, Random Forest).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "features/dataset.hpp"
+
+namespace ltefp::ml {
+
+using features::Dataset;
+using features::FeatureVector;
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset. Implementations may standardise internally.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicted class label for one feature vector.
+  virtual int predict(const FeatureVector& x) const = 0;
+
+  /// Per-class probability estimates (sums to 1).
+  virtual std::vector<double> predict_proba(const FeatureVector& x) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Predicts a whole dataset; returns labels in sample order.
+std::vector<int> predict_all(const Classifier& model, const Dataset& data);
+
+}  // namespace ltefp::ml

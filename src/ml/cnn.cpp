@@ -1,0 +1,174 @@
+#include "ml/cnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ltefp::ml {
+
+Cnn1D::Cnn1D(CnnConfig config) : config_(config) {
+  if (config_.kernel % 2 == 0) throw std::invalid_argument("Cnn1D: kernel must be odd");
+}
+
+void Cnn1D::forward(const FeatureVector& std_x, Activations& act) const {
+  const int half = config_.kernel / 2;
+  act.conv.assign(static_cast<std::size_t>(config_.channels * dims_), 0.0);
+  for (int ch = 0; ch < config_.channels; ++ch) {
+    const auto& w = conv_w_[static_cast<std::size_t>(ch)];
+    for (int pos = 0; pos < dims_; ++pos) {
+      double z = conv_b_[static_cast<std::size_t>(ch)];
+      for (int k = 0; k < config_.kernel; ++k) {
+        const int src = pos + k - half;
+        if (src < 0 || src >= dims_) continue;  // zero padding
+        z += w[static_cast<std::size_t>(k)] * std_x[static_cast<std::size_t>(src)];
+      }
+      act.conv[static_cast<std::size_t>(ch * dims_ + pos)] = std::max(0.0, z);  // ReLU
+    }
+  }
+  act.logits.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    double z = dense_b_[static_cast<std::size_t>(c)];
+    const auto& w = dense_w_[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < act.conv.size(); ++i) z += w[i] * act.conv[i];
+    act.logits[static_cast<std::size_t>(c)] = z;
+  }
+  act.proba = act.logits;
+  const double zmax = *std::max_element(act.proba.begin(), act.proba.end());
+  double sum = 0.0;
+  for (double& z : act.proba) {
+    z = std::exp(z - zmax);
+    sum += z;
+  }
+  for (double& z : act.proba) z /= sum;
+}
+
+void Cnn1D::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("Cnn1D::fit: empty dataset");
+  standardizer_.fit(train);
+  dims_ = static_cast<int>(train.feature_count());
+  num_classes_ = static_cast<int>(train.class_histogram().size());
+
+  Rng rng(config_.seed);
+  const auto he = [&](int fan_in) { return rng.normal(0.0, std::sqrt(2.0 / fan_in)); };
+  conv_w_.assign(static_cast<std::size_t>(config_.channels),
+                 std::vector<double>(static_cast<std::size_t>(config_.kernel)));
+  conv_b_.assign(static_cast<std::size_t>(config_.channels), 0.0);
+  for (auto& w : conv_w_) {
+    for (double& v : w) v = he(config_.kernel);
+  }
+  const int flat = config_.channels * dims_;
+  dense_w_.assign(static_cast<std::size_t>(num_classes_),
+                  std::vector<double>(static_cast<std::size_t>(flat)));
+  dense_b_.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  for (auto& w : dense_w_) {
+    for (double& v : w) v = he(flat);
+  }
+
+  // Momentum buffers.
+  auto conv_w_v = conv_w_;
+  for (auto& w : conv_w_v) std::fill(w.begin(), w.end(), 0.0);
+  std::vector<double> conv_b_v(conv_b_.size(), 0.0);
+  auto dense_w_v = dense_w_;
+  for (auto& w : dense_w_v) std::fill(w.begin(), w.end(), 0.0);
+  std::vector<double> dense_b_v(dense_b_.size(), 0.0);
+
+  std::vector<FeatureVector> xs;
+  xs.reserve(train.size());
+  for (const auto& s : train.samples) xs.push_back(standardizer_.transform(s.features));
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto batch = static_cast<std::size_t>(std::max(1, config_.batch_size));
+  const int half = config_.kernel / 2;
+
+  Activations act;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    const double lr = config_.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch) / 10.0);
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t stop = std::min(order.size(), start + batch);
+
+      auto conv_w_g = conv_w_;
+      for (auto& w : conv_w_g) std::fill(w.begin(), w.end(), 0.0);
+      std::vector<double> conv_b_g(conv_b_.size(), 0.0);
+      auto dense_w_g = dense_w_;
+      for (auto& w : dense_w_g) std::fill(w.begin(), w.end(), 0.0);
+      std::vector<double> dense_b_g(dense_b_.size(), 0.0);
+
+      for (std::size_t i = start; i < stop; ++i) {
+        const std::size_t idx = order[i];
+        forward(xs[idx], act);
+        const int y = train.samples[idx].label;
+
+        // dL/dlogits = proba - onehot
+        std::vector<double> dlogits(act.proba);
+        dlogits[static_cast<std::size_t>(y)] -= 1.0;
+
+        // Dense layer gradients and backprop into conv activations.
+        std::vector<double> dconv(act.conv.size(), 0.0);
+        for (int c = 0; c < num_classes_; ++c) {
+          const double dz = dlogits[static_cast<std::size_t>(c)];
+          auto& gw = dense_w_g[static_cast<std::size_t>(c)];
+          const auto& w = dense_w_[static_cast<std::size_t>(c)];
+          for (std::size_t j = 0; j < act.conv.size(); ++j) {
+            gw[j] += dz * act.conv[j];
+            dconv[j] += dz * w[j];
+          }
+          dense_b_g[static_cast<std::size_t>(c)] += dz;
+        }
+
+        // ReLU backprop + conv gradients.
+        for (int ch = 0; ch < config_.channels; ++ch) {
+          auto& gw = conv_w_g[static_cast<std::size_t>(ch)];
+          for (int pos = 0; pos < dims_; ++pos) {
+            const std::size_t j = static_cast<std::size_t>(ch * dims_ + pos);
+            if (act.conv[j] <= 0.0) continue;  // ReLU gate
+            const double dz = dconv[j];
+            for (int k = 0; k < config_.kernel; ++k) {
+              const int src = pos + k - half;
+              if (src < 0 || src >= dims_) continue;
+              gw[static_cast<std::size_t>(k)] += dz * xs[idx][static_cast<std::size_t>(src)];
+            }
+            conv_b_g[static_cast<std::size_t>(ch)] += dz;
+          }
+        }
+      }
+
+      const double scale = lr / static_cast<double>(stop - start);
+      const auto update = [&](std::vector<double>& w, std::vector<double>& v,
+                              const std::vector<double>& g) {
+        for (std::size_t j = 0; j < w.size(); ++j) {
+          v[j] = config_.momentum * v[j] - scale * g[j];
+          w[j] += v[j];
+        }
+      };
+      for (int ch = 0; ch < config_.channels; ++ch) {
+        update(conv_w_[static_cast<std::size_t>(ch)], conv_w_v[static_cast<std::size_t>(ch)],
+               conv_w_g[static_cast<std::size_t>(ch)]);
+      }
+      update(conv_b_, conv_b_v, conv_b_g);
+      for (int c = 0; c < num_classes_; ++c) {
+        update(dense_w_[static_cast<std::size_t>(c)], dense_w_v[static_cast<std::size_t>(c)],
+               dense_w_g[static_cast<std::size_t>(c)]);
+      }
+      update(dense_b_, dense_b_v, dense_b_g);
+    }
+  }
+}
+
+std::vector<double> Cnn1D::predict_proba(const FeatureVector& x) const {
+  if (dense_w_.empty()) throw std::logic_error("Cnn1D: not trained");
+  Activations act;
+  forward(standardizer_.transform(x), act);
+  return act.proba;
+}
+
+int Cnn1D::predict(const FeatureVector& x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace ltefp::ml

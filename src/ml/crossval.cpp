@@ -1,0 +1,48 @@
+#include "ml/crossval.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ltefp::ml {
+
+std::vector<int> stratified_folds(const Dataset& data, int folds, std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("stratified_folds: need >= 2 folds");
+  Rng rng(seed);
+  const auto hist = data.class_histogram();
+  std::vector<std::vector<std::size_t>> by_class(hist.size());
+  for (std::size_t i = 0; i < data.samples.size(); ++i) {
+    by_class[static_cast<std::size_t>(data.samples[i].label)].push_back(i);
+  }
+  std::vector<int> assignment(data.size(), 0);
+  for (auto& group : by_class) {
+    rng.shuffle(group);
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      assignment[group[j]] = static_cast<int>(j % static_cast<std::size_t>(folds));
+    }
+  }
+  return assignment;
+}
+
+double cross_val_accuracy(Classifier& model, const Dataset& data, int folds,
+                          std::uint64_t seed) {
+  const auto assignment = stratified_folds(data, folds, seed);
+  std::size_t correct = 0, total = 0;
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train, test;
+    train.feature_names = test.feature_names = data.feature_names;
+    train.label_names = test.label_names = data.label_names;
+    for (std::size_t i = 0; i < data.samples.size(); ++i) {
+      (assignment[i] == fold ? test : train).samples.push_back(data.samples[i]);
+    }
+    if (train.empty() || test.empty()) continue;
+    model.fit(train);
+    for (const auto& s : test.samples) {
+      if (model.predict(s.features) == s.label) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace ltefp::ml

@@ -1,0 +1,19 @@
+// Stratified k-fold cross-validation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/dataset.hpp"
+#include "ml/classifier.hpp"
+
+namespace ltefp::ml {
+
+/// Stratified fold assignment: returns fold index per sample, balanced per
+/// class.
+std::vector<int> stratified_folds(const Dataset& data, int folds, std::uint64_t seed);
+
+/// Mean accuracy across stratified folds. `model` is refit per fold.
+double cross_val_accuracy(Classifier& model, const Dataset& data, int folds, std::uint64_t seed);
+
+}  // namespace ltefp::ml

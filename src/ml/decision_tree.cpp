@@ -1,0 +1,215 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace ltefp::ml {
+namespace {
+
+double gini_from_counts(std::span<const double> counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void DecisionTree::fit(const features::Dataset& data, int num_classes) {
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  fit(data, indices, num_classes);
+}
+
+void DecisionTree::fit(const features::Dataset& data, std::span<const std::size_t> indices,
+                       int num_classes) {
+  if (indices.empty()) throw std::invalid_argument("DecisionTree::fit: no samples");
+  if (num_classes <= 0) throw std::invalid_argument("DecisionTree::fit: bad class count");
+  nodes_.clear();
+  num_classes_ = num_classes;
+  std::vector<std::size_t> work(indices.begin(), indices.end());
+  build(data, work, 0, work.size(), 0, num_classes);
+}
+
+int DecisionTree::build(const features::Dataset& data, std::vector<std::size_t>& indices,
+                        std::size_t begin, std::size_t end, int depth, int num_classes) {
+  const std::size_t n = end - begin;
+  std::vector<double> counts(static_cast<std::size_t>(num_classes), 0.0);
+  for (std::size_t i = begin; i < end; ++i) {
+    ++counts[static_cast<std::size_t>(data.samples[indices[i]].label)];
+  }
+  const double node_gini = gini_from_counts(counts, static_cast<double>(n));
+
+  const auto make_leaf = [&]() {
+    Node leaf;
+    leaf.depth = depth;
+    leaf.proba.resize(counts.size());
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      leaf.proba[c] = counts[c] / static_cast<double>(n);
+    }
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(leaf));
+    return id;
+  };
+
+  if (depth >= config_.max_depth || n < static_cast<std::size_t>(config_.min_samples_split) ||
+      node_gini <= 1e-12) {
+    return make_leaf();
+  }
+
+  const std::size_t dims = data.samples[indices[begin]].features.size();
+  // Choose the features to try at this node.
+  std::vector<std::size_t> tried(dims);
+  std::iota(tried.begin(), tried.end(), std::size_t{0});
+  if (config_.mtry > 0 && static_cast<std::size_t>(config_.mtry) < dims) {
+    rng_.shuffle(tried);
+    tried.resize(static_cast<std::size_t>(config_.mtry));
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = node_gini;  // must strictly improve
+  std::vector<double> left_counts(counts.size());
+
+  for (const std::size_t f : tried) {
+    // Sample candidate thresholds from this node's values.
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = begin; i < end; ++i) {
+      const double v = data.samples[indices[i]].features[f];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(hi > lo)) continue;  // constant feature in this node
+
+    const int candidates = std::max(1, config_.threshold_candidates);
+    for (int c = 0; c < candidates; ++c) {
+      // Midpoints between two random node values concentrate candidates
+      // where the data mass is.
+      const double a = data.samples[indices[begin + rng_.index(n)]].features[f];
+      const double b = data.samples[indices[begin + rng_.index(n)]].features[f];
+      const double threshold = a == b ? (a + lo + (hi - lo) * rng_.uniform()) / 2.0
+                                      : (a + b) / 2.0;
+      std::fill(left_counts.begin(), left_counts.end(), 0.0);
+      double n_left = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto& s = data.samples[indices[i]];
+        if (s.features[f] <= threshold) {
+          ++left_counts[static_cast<std::size_t>(s.label)];
+          ++n_left;
+        }
+      }
+      const double n_right = static_cast<double>(n) - n_left;
+      if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) continue;
+      std::vector<double> right_counts(counts.size());
+      for (std::size_t k = 0; k < counts.size(); ++k) right_counts[k] = counts[k] - left_counts[k];
+      const double score = (n_left * gini_from_counts(left_counts, n_left) +
+                            n_right * gini_from_counts(right_counts, n_right)) /
+                           static_cast<double>(n);
+      if (score + 1e-12 < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition indices in place.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
+        return data.samples[idx].features[static_cast<std::size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // degenerate split
+
+  Node node;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.depth = depth;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  const int left = build(data, indices, begin, mid, depth + 1, num_classes);
+  const int right = build(data, indices, mid, end, depth + 1, num_classes);
+  nodes_[static_cast<std::size_t>(id)].left = left;
+  nodes_[static_cast<std::size_t>(id)].right = right;
+  return id;
+}
+
+const DecisionTree::Node& DecisionTree::leaf_for(const features::FeatureVector& x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not trained");
+  const Node* node = &nodes_.front();
+  while (node->feature >= 0) {
+    const std::size_t f = static_cast<std::size_t>(node->feature);
+    if (f >= x.size()) throw std::invalid_argument("DecisionTree: feature dim mismatch");
+    node = &nodes_[static_cast<std::size_t>(x[f] <= node->threshold ? node->left : node->right)];
+  }
+  return *node;
+}
+
+int DecisionTree::predict(const features::FeatureVector& x) const {
+  const auto& proba = leaf_for(x).proba;
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+const std::vector<double>& DecisionTree::predict_proba(const features::FeatureVector& x) const {
+  return leaf_for(x).proba;
+}
+
+std::vector<DecisionTree::ExportedNode> DecisionTree::export_nodes() const {
+  std::vector<ExportedNode> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    ExportedNode e;
+    e.feature = node.feature;
+    e.threshold = node.threshold;
+    e.left = node.left;
+    e.right = node.right;
+    e.proba = node.proba;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+DecisionTree DecisionTree::from_nodes(std::vector<ExportedNode> nodes, int num_classes) {
+  if (nodes.empty()) throw std::invalid_argument("DecisionTree::from_nodes: no nodes");
+  if (num_classes <= 0) throw std::invalid_argument("DecisionTree::from_nodes: bad class count");
+  DecisionTree tree;
+  tree.num_classes_ = num_classes;
+  tree.nodes_.reserve(nodes.size());
+  const int n = static_cast<int>(nodes.size());
+  for (auto& e : nodes) {
+    if (e.feature >= 0) {
+      if (e.left < 0 || e.left >= n || e.right < 0 || e.right >= n) {
+        throw std::invalid_argument("DecisionTree::from_nodes: child index out of range");
+      }
+    } else if (e.proba.size() != static_cast<std::size_t>(num_classes)) {
+      throw std::invalid_argument("DecisionTree::from_nodes: leaf distribution size mismatch");
+    }
+    Node node;
+    node.feature = e.feature;
+    node.threshold = e.threshold;
+    node.left = e.left;
+    node.right = e.right;
+    node.proba = std::move(e.proba);
+    tree.nodes_.push_back(std::move(node));
+  }
+  return tree;
+}
+
+int DecisionTree::depth() const {
+  int d = 0;
+  for (const auto& node : nodes_) d = std::max(d, node.depth);
+  return d;
+}
+
+}  // namespace ltefp::ml

@@ -1,0 +1,83 @@
+// CART decision tree (Gini impurity) — the base learner of the Random
+// Forest the paper selects for its classifier (Table VIII: trees = 100).
+//
+// Split search samples candidate thresholds from the node's observed
+// values (histogram-style) rather than sorting every feature at every
+// node; with per-node feature subsampling (mtry) this is the standard
+// random-forest recipe and keeps training linear in node size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/dataset.hpp"
+
+namespace ltefp::ml {
+
+struct TreeConfig {
+  int max_depth = 18;
+  int min_samples_split = 4;
+  int min_samples_leaf = 2;
+  /// Features tried per node; 0 = all, otherwise typically sqrt(dims).
+  int mtry = 0;
+  /// Candidate thresholds sampled per tried feature.
+  int threshold_candidates = 24;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeConfig config = {}, std::uint64_t seed = 1);
+
+  /// Fits on the subset of `data` given by `indices` (duplicates allowed —
+  /// this is how the forest passes bootstrap resamples).
+  void fit(const features::Dataset& data, std::span<const std::size_t> indices,
+           int num_classes);
+
+  /// Fits on the whole dataset.
+  void fit(const features::Dataset& data, int num_classes);
+
+  int predict(const features::FeatureVector& x) const;
+  const std::vector<double>& predict_proba(const features::FeatureVector& x) const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+  bool trained() const { return !nodes_.empty(); }
+
+  /// Flat node view for persistence (ml/serialize.hpp). feature == -1
+  /// marks a leaf, whose `proba` holds the class distribution.
+  struct ExportedNode {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    std::vector<double> proba;
+  };
+  std::vector<ExportedNode> export_nodes() const;
+
+  /// Rebuilds a tree from exported nodes (index 0 is the root). Throws
+  /// std::invalid_argument on inconsistent input.
+  static DecisionTree from_nodes(std::vector<ExportedNode> nodes, int num_classes);
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int depth = 0;
+    std::vector<double> proba;  // leaf class distribution
+  };
+
+  int build(const features::Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, int depth, int num_classes);
+  const Node& leaf_for(const features::FeatureVector& x) const;
+
+  TreeConfig config_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+};
+
+}  // namespace ltefp::ml

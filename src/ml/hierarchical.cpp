@@ -1,0 +1,91 @@
+#include "ml/hierarchical.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ltefp::ml {
+
+HierarchicalClassifier::HierarchicalClassifier(std::function<int(int)> group_of, int num_groups,
+                                               Factory factory)
+    : group_of_(std::move(group_of)), num_groups_(num_groups), factory_(std::move(factory)) {
+  if (num_groups_ < 1) throw std::invalid_argument("HierarchicalClassifier: bad group count");
+}
+
+void HierarchicalClassifier::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("HierarchicalClassifier::fit: empty dataset");
+  num_labels_ = static_cast<int>(train.class_histogram().size());
+
+  // Stage 1: coarse-group dataset.
+  Dataset coarse;
+  coarse.feature_names = train.feature_names;
+  for (const auto& s : train.samples) {
+    coarse.add(s.features, group_of_(s.label));
+  }
+  coarse.label_names.resize(static_cast<std::size_t>(num_groups_));
+  group_model_ = factory_();
+  group_model_->fit(coarse);
+
+  // Stage 2: one fine model per group over that group's labels.
+  stages_.clear();
+  stages_.resize(static_cast<std::size_t>(num_groups_));
+  for (int g = 0; g < num_groups_; ++g) {
+    auto& stage = stages_[static_cast<std::size_t>(g)];
+    // Collect the global labels occurring in this group.
+    for (int label = 0; label < num_labels_; ++label) {
+      if (group_of_(label) == g) stage.global_labels.push_back(label);
+    }
+    if (stage.global_labels.empty()) continue;
+    Dataset fine;
+    fine.feature_names = train.feature_names;
+    fine.label_names.resize(stage.global_labels.size());
+    for (const auto& s : train.samples) {
+      if (group_of_(s.label) != g) continue;
+      const auto it =
+          std::find(stage.global_labels.begin(), stage.global_labels.end(), s.label);
+      fine.add(s.features, static_cast<int>(it - stage.global_labels.begin()));
+    }
+    if (fine.empty()) {
+      stage.global_labels.clear();
+      continue;
+    }
+    if (stage.global_labels.size() == 1) continue;  // degenerate: single app
+    stage.model = factory_();
+    stage.model->fit(fine);
+  }
+}
+
+int HierarchicalClassifier::predict_group(const FeatureVector& x) const {
+  if (!group_model_) throw std::logic_error("HierarchicalClassifier: not trained");
+  return group_model_->predict(x);
+}
+
+int HierarchicalClassifier::predict(const FeatureVector& x) const {
+  const int g = predict_group(x);
+  const auto& stage = stages_[static_cast<std::size_t>(g)];
+  if (stage.global_labels.empty()) return 0;
+  if (!stage.model) return stage.global_labels.front();
+  const int local = stage.model->predict(x);
+  return stage.global_labels[static_cast<std::size_t>(local)];
+}
+
+std::vector<double> HierarchicalClassifier::predict_proba(const FeatureVector& x) const {
+  if (!group_model_) throw std::logic_error("HierarchicalClassifier: not trained");
+  std::vector<double> proba(static_cast<std::size_t>(num_labels_), 0.0);
+  const auto group_proba = group_model_->predict_proba(x);
+  for (int g = 0; g < num_groups_; ++g) {
+    const auto& stage = stages_[static_cast<std::size_t>(g)];
+    if (stage.global_labels.empty()) continue;
+    const double pg = group_proba[static_cast<std::size_t>(g)];
+    if (!stage.model) {
+      proba[static_cast<std::size_t>(stage.global_labels.front())] += pg;
+      continue;
+    }
+    const auto fine = stage.model->predict_proba(x);
+    for (std::size_t i = 0; i < stage.global_labels.size(); ++i) {
+      proba[static_cast<std::size_t>(stage.global_labels[i])] += pg * fine[i];
+    }
+  }
+  return proba;
+}
+
+}  // namespace ltefp::ml

@@ -1,0 +1,60 @@
+#include "ml/importance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ltefp::ml {
+namespace {
+
+double accuracy_of(const Classifier& model, const Dataset& data) {
+  std::size_t correct = 0;
+  for (const auto& s : data.samples) {
+    if (model.predict(s.features) == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+std::vector<FeatureImportance> permutation_importance(const Classifier& model,
+                                                      const Dataset& data, int repeats,
+                                                      std::uint64_t seed) {
+  if (data.empty()) throw std::invalid_argument("permutation_importance: empty dataset");
+  if (repeats < 1) throw std::invalid_argument("permutation_importance: repeats must be >= 1");
+
+  const double baseline = accuracy_of(model, data);
+  const std::size_t dims = data.samples.front().features.size();
+  Rng rng(seed);
+
+  std::vector<FeatureImportance> out;
+  out.reserve(dims);
+  Dataset shuffled = data;
+  for (std::size_t f = 0; f < dims; ++f) {
+    double total_drop = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      // Permute column f.
+      const auto perm = rng.permutation(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        shuffled.samples[i].features[f] = data.samples[perm[i]].features[f];
+      }
+      total_drop += baseline - accuracy_of(model, shuffled);
+    }
+    // Restore the column.
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      shuffled.samples[i].features[f] = data.samples[i].features[f];
+    }
+    FeatureImportance fi;
+    fi.feature = f;
+    fi.name = f < data.feature_names.size() ? data.feature_names[f] : "f" + std::to_string(f);
+    fi.importance = total_drop / repeats;
+    out.push_back(fi);
+  }
+  std::sort(out.begin(), out.end(), [](const FeatureImportance& a, const FeatureImportance& b) {
+    return a.importance > b.importance;
+  });
+  return out;
+}
+
+}  // namespace ltefp::ml

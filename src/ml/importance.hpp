@@ -1,0 +1,30 @@
+// Permutation feature importance: how much held-out accuracy drops when
+// one feature column is shuffled. Used to explain *which* side-channel
+// features (Table II vectors) carry the fingerprint — analysis the paper
+// motivates when discussing why size/interval features differ per app.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace ltefp::ml {
+
+struct FeatureImportance {
+  std::size_t feature = 0;
+  std::string name;
+  /// Mean accuracy drop across repeats when this feature is permuted;
+  /// higher = more load-bearing. Can be slightly negative for pure-noise
+  /// features.
+  double importance = 0.0;
+};
+
+/// Computes permutation importance of every feature of `data` for a
+/// *fitted* model. Results are sorted by descending importance.
+std::vector<FeatureImportance> permutation_importance(const Classifier& model,
+                                                      const Dataset& data, int repeats = 3,
+                                                      std::uint64_t seed = 17);
+
+}  // namespace ltefp::ml

@@ -1,0 +1,89 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "ml/crossval.hpp"
+
+namespace ltefp::ml {
+
+Knn::Knn(KnnConfig config) : config_(config) {
+  if (config_.k < 1) throw std::invalid_argument("Knn: k must be >= 1");
+}
+
+void Knn::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("Knn::fit: empty dataset");
+  standardizer_.fit(train);
+  points_.clear();
+  labels_.clear();
+  points_.reserve(train.size());
+  labels_.reserve(train.size());
+  int max_label = 0;
+  for (const auto& s : train.samples) {
+    points_.push_back(standardizer_.transform(s.features));
+    labels_.push_back(s.label);
+    max_label = std::max(max_label, s.label);
+  }
+  num_classes_ = max_label + 1;
+}
+
+std::vector<int> Knn::neighbor_labels(const FeatureVector& x) const {
+  if (points_.empty()) throw std::logic_error("Knn: not trained");
+  const FeatureVector q = standardizer_.transform(x);
+  // Max-heap of (distance, label) keeping the k smallest distances.
+  std::priority_queue<std::pair<double, int>> heap;
+  const auto k = static_cast<std::size_t>(config_.k);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    double d = 0.0;
+    const auto& p = points_[i];
+    for (std::size_t f = 0; f < p.size(); ++f) {
+      const double diff = p[f] - q[f];
+      d += diff * diff;
+      if (heap.size() == k && d > heap.top().first) break;  // early exit
+    }
+    if (heap.size() < k) {
+      heap.emplace(d, labels_[i]);
+    } else if (d < heap.top().first) {
+      heap.pop();
+      heap.emplace(d, labels_[i]);
+    }
+  }
+  std::vector<int> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top().second);
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<double> Knn::predict_proba(const FeatureVector& x) const {
+  std::vector<double> proba(static_cast<std::size_t>(num_classes_), 0.0);
+  const auto labels = neighbor_labels(x);
+  for (const int label : labels) ++proba[static_cast<std::size_t>(label)];
+  for (double& p : proba) p /= static_cast<double>(labels.size());
+  return proba;
+}
+
+int Knn::predict(const FeatureVector& x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+int select_k_by_cross_validation(const Dataset& data, int k_max, int folds, std::uint64_t seed) {
+  int best_k = 1;
+  double best_acc = -1.0;
+  for (int k = 1; k <= k_max; ++k) {
+    Knn model(KnnConfig{k});
+    const double acc = cross_val_accuracy(model, data, folds, seed);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace ltefp::ml

@@ -1,0 +1,45 @@
+// k-Nearest-Neighbours with internal z-score standardisation.
+//
+// Paper Table VIII: k chosen by cross-validation over 1..10 (optimal k=4).
+// As the paper notes, kNN prediction slows on large datasets — the
+// micro-benchmarks quantify that.
+#pragma once
+
+#include <vector>
+
+#include "features/dataset.hpp"
+#include "ml/classifier.hpp"
+
+namespace ltefp::ml {
+
+struct KnnConfig {
+  int k = 4;
+};
+
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnConfig config = {});
+
+  void fit(const Dataset& train) override;
+  int predict(const FeatureVector& x) const override;
+  std::vector<double> predict_proba(const FeatureVector& x) const override;
+  const char* name() const override { return "kNN"; }
+
+  int k() const { return config_.k; }
+
+ private:
+  std::vector<int> neighbor_labels(const FeatureVector& x) const;
+
+  KnnConfig config_;
+  features::Standardizer standardizer_;
+  std::vector<FeatureVector> points_;  // standardised training features
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+/// Selects k in [1, k_max] by `folds`-fold cross-validated accuracy, as the
+/// paper does ("iterative process whereby we train and test the model
+/// across a range of k values, from 1 to 10").
+int select_k_by_cross_validation(const Dataset& data, int k_max, int folds, std::uint64_t seed);
+
+}  // namespace ltefp::ml

@@ -1,0 +1,97 @@
+#include "ml/logreg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ltefp::ml {
+
+LogisticRegression::LogisticRegression(LogRegConfig config) : config_(config) {
+  if (config_.c <= 0.0) throw std::invalid_argument("LogisticRegression: C must be positive");
+}
+
+std::vector<double> LogisticRegression::softmax_scores(const FeatureVector& std_x) const {
+  std::vector<double> scores(static_cast<std::size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto& w = weights_[static_cast<std::size_t>(c)];
+    double z = w.back();  // bias
+    for (std::size_t d = 0; d < std_x.size(); ++d) z += w[d] * std_x[d];
+    scores[static_cast<std::size_t>(c)] = z;
+  }
+  const double zmax = *std::max_element(scores.begin(), scores.end());
+  double sum = 0.0;
+  for (double& z : scores) {
+    z = std::exp(z - zmax);
+    sum += z;
+  }
+  for (double& z : scores) z /= sum;
+  return scores;
+}
+
+void LogisticRegression::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("LogisticRegression::fit: empty dataset");
+  standardizer_.fit(train);
+
+  const auto hist = train.class_histogram();
+  num_classes_ = static_cast<int>(hist.size());
+  const std::size_t dims = train.feature_count();
+  weights_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(dims + 1, 0.0));
+
+  // Pre-standardise the training set once.
+  std::vector<FeatureVector> xs;
+  xs.reserve(train.size());
+  for (const auto& s : train.samples) xs.push_back(standardizer_.transform(s.features));
+
+  const double lambda = 1.0 / config_.c;  // L2 strength
+  Rng rng(config_.seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  const auto batch = static_cast<std::size_t>(std::max(1, config_.batch_size));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    // Simple 1/sqrt(t) step-size decay keeps late epochs stable.
+    const double lr = config_.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t stop = std::min(order.size(), start + batch);
+      // Accumulate gradient over the batch.
+      std::vector<std::vector<double>> grad(static_cast<std::size_t>(num_classes_),
+                                            std::vector<double>(dims + 1, 0.0));
+      for (std::size_t i = start; i < stop; ++i) {
+        const std::size_t idx = order[i];
+        const auto proba = softmax_scores(xs[idx]);
+        const int y = train.samples[idx].label;
+        for (int c = 0; c < num_classes_; ++c) {
+          const double err = proba[static_cast<std::size_t>(c)] - (c == y ? 1.0 : 0.0);
+          auto& g = grad[static_cast<std::size_t>(c)];
+          for (std::size_t d = 0; d < dims; ++d) g[d] += err * xs[idx][d];
+          g[dims] += err;
+        }
+      }
+      const double scale = lr / static_cast<double>(stop - start);
+      for (int c = 0; c < num_classes_; ++c) {
+        auto& w = weights_[static_cast<std::size_t>(c)];
+        const auto& g = grad[static_cast<std::size_t>(c)];
+        for (std::size_t d = 0; d < dims; ++d) {
+          w[d] -= scale * (g[d] + lambda * w[d] / static_cast<double>(train.size()));
+        }
+        w[dims] -= scale * g[dims];  // bias unregularised
+      }
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba(const FeatureVector& x) const {
+  if (weights_.empty()) throw std::logic_error("LogisticRegression: not trained");
+  return softmax_scores(standardizer_.transform(x));
+}
+
+int LogisticRegression::predict(const FeatureVector& x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace ltefp::ml

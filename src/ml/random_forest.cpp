@@ -1,0 +1,63 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ltefp::ml {
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {}
+
+void RandomForest::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("RandomForest::fit: empty dataset");
+  const auto hist = train.class_histogram();
+  num_classes_ = static_cast<int>(hist.size());
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.mtry == 0) {
+    tree_config.mtry = std::max(
+        1, static_cast<int>(std::round(std::sqrt(static_cast<double>(train.feature_count())))));
+  }
+
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
+  Rng rng(config_.seed);
+  const auto n_boot = static_cast<std::size_t>(
+      std::max(1.0, config_.bootstrap_fraction * static_cast<double>(train.size())));
+  std::vector<std::size_t> bootstrap(n_boot);
+  for (int t = 0; t < config_.num_trees; ++t) {
+    for (auto& idx : bootstrap) idx = rng.index(train.size());
+    DecisionTree tree(tree_config, rng());
+    tree.fit(train, bootstrap, num_classes_);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+RandomForest RandomForest::from_trees(std::vector<DecisionTree> trees, int num_classes) {
+  if (trees.empty()) throw std::invalid_argument("RandomForest::from_trees: no trees");
+  if (num_classes <= 0) throw std::invalid_argument("RandomForest::from_trees: bad class count");
+  RandomForest forest;
+  forest.trees_ = std::move(trees);
+  forest.num_classes_ = num_classes;
+  return forest;
+}
+
+std::vector<double> RandomForest::predict_proba(const FeatureVector& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not trained");
+  std::vector<double> proba(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto& p = tree.predict_proba(x);
+    for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
+  }
+  for (double& p : proba) p /= static_cast<double>(trees_.size());
+  return proba;
+}
+
+int RandomForest::predict(const FeatureVector& x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace ltefp::ml

@@ -1,0 +1,43 @@
+// Random Forest — the classifier the paper selects (Table VIII:
+// "Number of tree = 100, Seed = 1"): bagged CART trees with per-node
+// feature subsampling, probability averaging across trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace ltefp::ml {
+
+struct ForestConfig {
+  int num_trees = 100;
+  TreeConfig tree;          // tree.mtry 0 = auto (sqrt of feature count)
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 1;   // the paper's stated seed
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(ForestConfig config = {});
+
+  void fit(const Dataset& train) override;
+  int predict(const FeatureVector& x) const override;
+  std::vector<double> predict_proba(const FeatureVector& x) const override;
+  const char* name() const override { return "RandomForest"; }
+
+  int tree_count() const { return static_cast<int>(trees_.size()); }
+  int class_count() const { return num_classes_; }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// Rebuilds a forest from deserialised trees (ml/serialize.hpp).
+  static RandomForest from_trees(std::vector<DecisionTree> trees, int num_classes);
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace ltefp::ml

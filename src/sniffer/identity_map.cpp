@@ -1,0 +1,83 @@
+#include "sniffer/identity_map.hpp"
+
+#include <algorithm>
+
+namespace ltefp::sniffer {
+
+void IdentityMapper::on_rar(const lte::RandomAccessResponse& rar) {
+  // A RAR assigning an RNTI implicitly ends any stale binding for the same
+  // value (the eNB must have recycled it).
+  close_open_binding(rar.assigned_rnti, rar.time);
+}
+
+void IdentityMapper::on_rrc_request(const lte::RrcConnectionRequest& request) {
+  pending_requests_[request.rnti] = request;
+}
+
+void IdentityMapper::on_rrc_setup(const lte::RrcConnectionSetup& setup) {
+  const auto it = pending_requests_.find(setup.rnti);
+  if (it == pending_requests_.end()) return;
+  const lte::RrcConnectionRequest& request = it->second;
+  // Contention resolution: Msg4 echoes the winner's identity. If they do
+  // not match, another UE won the RACH contention — discard.
+  if (request.s_tmsi != setup.contention_resolution_identity) {
+    pending_requests_.erase(it);
+    return;
+  }
+  close_open_binding(setup.rnti, setup.time);
+  RntiBinding binding;
+  binding.rnti = setup.rnti;
+  binding.tmsi = request.s_tmsi;
+  binding.cell = setup.cell;
+  binding.valid_from = setup.time;
+  open_[setup.rnti] = bindings_.size();
+  bindings_.push_back(binding);
+  ++confirmed_;
+  pending_requests_.erase(it);
+}
+
+void IdentityMapper::on_rrc_release(const lte::RrcConnectionRelease& release) {
+  close_open_binding(release.rnti, release.time);
+}
+
+void IdentityMapper::add_manual_binding(lte::Rnti rnti, lte::Tmsi tmsi, lte::CellId cell,
+                                        TimeMs from) {
+  close_open_binding(rnti, from);
+  RntiBinding binding;
+  binding.rnti = rnti;
+  binding.tmsi = tmsi;
+  binding.cell = cell;
+  binding.valid_from = from;
+  open_[rnti] = bindings_.size();
+  bindings_.push_back(binding);
+}
+
+void IdentityMapper::close_open_binding(lte::Rnti rnti, TimeMs t) {
+  const auto it = open_.find(rnti);
+  if (it == open_.end()) return;
+  bindings_[it->second].valid_to = t;
+  open_.erase(it);
+}
+
+std::optional<lte::Tmsi> IdentityMapper::tmsi_of(lte::Rnti rnti, TimeMs t) const {
+  // Scan this RNTI's bindings; windows never overlap for one value.
+  for (const auto& b : bindings_) {
+    if (b.rnti != rnti) continue;
+    if (t < b.valid_from) continue;
+    if (b.valid_to >= 0 && t >= b.valid_to) continue;
+    return b.tmsi;
+  }
+  return std::nullopt;
+}
+
+std::vector<RntiBinding> IdentityMapper::bindings_of(lte::Tmsi tmsi) const {
+  std::vector<RntiBinding> out;
+  for (const auto& b : bindings_) {
+    if (b.tmsi == tmsi) out.push_back(b);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RntiBinding& a, const RntiBinding& b) { return a.valid_from < b.valid_from; });
+  return out;
+}
+
+}  // namespace ltefp::sniffer

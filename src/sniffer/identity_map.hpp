@@ -1,0 +1,72 @@
+// Passive RNTI <-> TMSI identity mapping.
+//
+// Implements the paper's Target Identity Mapping step (Section III-E),
+// which follows Rupprecht et al.'s passive technique: the
+// RRCConnectionRequest broadcasts the UE's S-TMSI in plain text and the
+// RRCConnectionSetup echoes it as the contention resolution identity,
+// CRC-addressed to the just-assigned C-RNTI. Observing the exchange binds
+// RNTI -> TMSI. Because RNTIs refresh on every idle->connected transition,
+// one TMSI accumulates a *history* of bindings, each valid over a time
+// window — this is what lets the attacker stitch a victim's traffic
+// together across RNTI changes (and, with one mapper per cell, across
+// handovers).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "lte/rrc.hpp"
+#include "lte/types.hpp"
+
+namespace ltefp::sniffer {
+
+/// One RNTI->TMSI binding with its validity window.
+struct RntiBinding {
+  lte::Rnti rnti = 0;
+  lte::Tmsi tmsi = 0;
+  lte::CellId cell = 0;
+  TimeMs valid_from = 0;
+  TimeMs valid_to = -1;  // -1 = still open
+};
+
+class IdentityMapper {
+ public:
+  /// Feed the RACH/RRC exchange as observed on the air.
+  void on_rar(const lte::RandomAccessResponse& rar);
+  void on_rrc_request(const lte::RrcConnectionRequest& request);
+  void on_rrc_setup(const lte::RrcConnectionSetup& setup);
+  void on_rrc_release(const lte::RrcConnectionRelease& release);
+
+  /// TMSI currently bound to `rnti` at time `t`, if any.
+  std::optional<lte::Tmsi> tmsi_of(lte::Rnti rnti, TimeMs t) const;
+
+  /// Full binding history of one subscriber, ordered by valid_from.
+  std::vector<RntiBinding> bindings_of(lte::Tmsi tmsi) const;
+
+  /// All bindings observed (for diagnostics / dataset export).
+  const std::vector<RntiBinding>& bindings() const { return bindings_; }
+
+  /// Number of completed request+setup confirmations.
+  std::size_t confirmed_count() const { return confirmed_; }
+
+  /// Registers a binding learned out-of-band. Handover arrivals use
+  /// contention-free RACH (no Msg3, hence no S-TMSI on the air), so purely
+  /// passive mapping cannot rebind them; the paper covers this gap with an
+  /// IMSI catcher / identity-mapping assist (Section III-C), which this
+  /// entry point models.
+  void add_manual_binding(lte::Rnti rnti, lte::Tmsi tmsi, lte::CellId cell, TimeMs from);
+
+ private:
+  void close_open_binding(lte::Rnti rnti, TimeMs t);
+
+  std::vector<RntiBinding> bindings_;
+  // rnti -> index of its open binding in bindings_ (at most one open per rnti)
+  std::unordered_map<lte::Rnti, std::size_t> open_;
+  // rnti -> pending S-TMSI seen in an RRCConnectionRequest, awaiting Msg4
+  std::unordered_map<lte::Rnti, lte::RrcConnectionRequest> pending_requests_;
+  std::size_t confirmed_ = 0;
+};
+
+}  // namespace ltefp::sniffer

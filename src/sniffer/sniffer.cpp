@@ -1,0 +1,120 @@
+#include "sniffer/sniffer.hpp"
+
+#include "lte/crc.hpp"
+
+namespace ltefp::sniffer {
+
+Sniffer::Sniffer(SnifferConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+void Sniffer::on_subframe(const lte::PdcchSubframe& subframe) {
+  for (const auto& enc : subframe.dcis) {
+    if (config_.miss_rate > 0.0 && rng_.bernoulli(config_.miss_rate)) {
+      ++missed_;
+      continue;
+    }
+    // Blind decode: parse the plain-text fields, then unmask the CRC to
+    // recover the RNTI that scrambled it.
+    const auto fields = lte::decode_dci_fields(enc);
+    if (!fields) continue;
+    const lte::Rnti rnti = lte::recover_rnti(enc.payload, enc.masked_crc);
+    if (rnti == lte::kPagingRnti) {
+      ++paging_;
+      continue;  // paging indications are counted, not traced
+    }
+    if (rnti < lte::kMinCRnti || rnti > lte::kMaxCRnti) continue;
+    last_seen_[rnti] = subframe.time;
+    if (!rnti_allowed(rnti)) continue;
+    records_.push_back(TraceRecord{subframe.time, rnti, fields->direction,
+                                   fields->tb_bytes(), subframe.cell});
+  }
+
+  // Spurious detection surviving the activity filter (false decode). Only
+  // relevant when recording unrestricted (a targeted filter rejects RNTIs
+  // outside the victim's bindings anyway).
+  if (!restricted() && config_.false_rate > 0.0 && rng_.bernoulli(config_.false_rate)) {
+    TraceRecord bogus;
+    bogus.time = subframe.time;
+    bogus.rnti = static_cast<lte::Rnti>(rng_.uniform_int(lte::kMinCRnti, lte::kMaxCRnti));
+    bogus.direction = rng_.bernoulli(0.5) ? lte::Direction::kDownlink : lte::Direction::kUplink;
+    bogus.tb_bytes = static_cast<int>(rng_.uniform_int(16, 4000));
+    bogus.cell = subframe.cell;
+    records_.push_back(bogus);
+  }
+}
+
+void Sniffer::on_rach(const lte::RachPreamble& /*preamble*/) { ++rach_; }
+
+void Sniffer::on_rar(const lte::RandomAccessResponse& rar) {
+  identity_map_.on_rar(rar);
+  last_seen_[rar.assigned_rnti] = rar.time;
+}
+
+void Sniffer::on_rrc_request(const lte::RrcConnectionRequest& request) {
+  identity_map_.on_rrc_request(request);
+}
+
+void Sniffer::on_rrc_setup(const lte::RrcConnectionSetup& setup) {
+  identity_map_.on_rrc_setup(setup);
+  if (!tmsi_allowlist_.empty() &&
+      tmsi_allowlist_.contains(setup.contention_resolution_identity) &&
+      identity_map_.tmsi_of(setup.rnti, setup.time).has_value()) {
+    allowed_rntis_.insert(setup.rnti);
+  }
+}
+
+void Sniffer::on_rrc_release(const lte::RrcConnectionRelease& release) {
+  identity_map_.on_rrc_release(release);
+  allowed_rntis_.erase(release.rnti);
+}
+
+void Sniffer::restrict_to_tmsi(lte::Tmsi tmsi) {
+  tmsi_allowlist_.insert(tmsi);
+  // Pick up bindings that are already live.
+  for (const auto& b : identity_map_.bindings()) {
+    if (b.tmsi == tmsi && b.valid_to < 0) allowed_rntis_.insert(b.rnti);
+  }
+}
+
+void Sniffer::add_manual_binding(lte::Rnti rnti, lte::Tmsi tmsi, lte::CellId cell,
+                                 TimeMs from) {
+  identity_map_.add_manual_binding(rnti, tmsi, cell, from);
+  if (tmsi_allowlist_.contains(tmsi)) allowed_rntis_.insert(rnti);
+}
+
+bool Sniffer::rnti_allowed(lte::Rnti rnti) const {
+  return tmsi_allowlist_.empty() || allowed_rntis_.contains(rnti);
+}
+
+Trace Sniffer::trace_of_rnti(lte::Rnti rnti) const {
+  Trace out;
+  for (const auto& r : records_) {
+    if (r.rnti == rnti) out.push_back(r);
+  }
+  return out;
+}
+
+Trace Sniffer::trace_of_tmsi(lte::Tmsi tmsi) const {
+  Trace out;
+  const auto bindings = identity_map_.bindings_of(tmsi);
+  if (bindings.empty()) return out;
+  for (const auto& r : records_) {
+    for (const auto& b : bindings) {
+      if (r.rnti != b.rnti) continue;
+      if (r.time < b.valid_from) continue;
+      if (b.valid_to >= 0 && r.time >= b.valid_to) continue;
+      out.push_back(r);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<lte::Rnti> Sniffer::active_rntis(TimeMs now) const {
+  std::vector<lte::Rnti> out;
+  for (const auto& [rnti, seen] : last_seen_) {
+    if (now - seen <= config_.activity_horizon) out.push_back(rnti);
+  }
+  return out;
+}
+
+}  // namespace ltefp::sniffer

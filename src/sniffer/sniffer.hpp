@@ -1,0 +1,103 @@
+// Passive PDCCH sniffer (the paper's data-acquisition component).
+//
+// Mirrors what OWL / FALCON / the customised srsLTE pdsch_ue do on real
+// hardware: receive every PDCCH subframe, blind-decode DCIs by recomputing
+// the CRC and unmasking the RNTI, maintain the set of plausibly-active
+// RNTIs to reject CRC-aliasing false positives, and log
+// (time, RNTI, direction, TBS) trace records. Radio imperfections are
+// injected per OperatorProfile: a miss rate (decode failures) and a false
+// rate (bogus detections that slip past filtering).
+//
+// The sniffer is strictly passive: it only consumes lte::PdcchObserver
+// callbacks — the same information any SDR within the cell's coverage
+// receives — and never touches simulator-internal ground truth.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lte/observer.hpp"
+#include "sniffer/identity_map.hpp"
+#include "sniffer/trace.hpp"
+
+namespace ltefp::sniffer {
+
+struct SnifferConfig {
+  /// Probability of failing to decode any given DCI (RF conditions).
+  double miss_rate = 0.0;
+  /// Probability per subframe of logging one spurious record (CRC aliasing
+  /// that passes the activity filter).
+  double false_rate = 0.0;
+  /// RNTIs unseen for this long are dropped from the active set (OWL-style
+  /// lifetime heuristic).
+  TimeMs activity_horizon = 15'000;
+};
+
+class Sniffer final : public lte::PdcchObserver {
+ public:
+  Sniffer(SnifferConfig config, Rng rng);
+
+  // --- lte::PdcchObserver
+  void on_subframe(const lte::PdcchSubframe& subframe) override;
+  void on_rach(const lte::RachPreamble& preamble) override;
+  void on_rar(const lte::RandomAccessResponse& rar) override;
+  void on_rrc_request(const lte::RrcConnectionRequest& request) override;
+  void on_rrc_setup(const lte::RrcConnectionSetup& setup) override;
+  void on_rrc_release(const lte::RrcConnectionRelease& release) override;
+
+  /// Every record decoded so far, in capture order.
+  const Trace& records() const { return records_; }
+
+  /// Records attributed to one RNTI (no identity stitching).
+  Trace trace_of_rnti(lte::Rnti rnti) const;
+
+  /// Records attributed to one subscriber across all of their RNTI
+  /// bindings — the identity-mapped per-user trace the attacks consume.
+  Trace trace_of_tmsi(lte::Tmsi tmsi) const;
+
+  /// RNTIs seen within the activity horizon of `now`.
+  std::vector<lte::Rnti> active_rntis(TimeMs now) const;
+
+  const IdentityMapper& identities() const { return identity_map_; }
+  IdentityMapper& identities() { return identity_map_; }
+
+  // --- capture statistics
+  std::size_t decoded_count() const { return records_.size(); }
+  std::size_t missed_count() const { return missed_; }
+  std::size_t paging_count() const { return paging_; }
+  std::size_t rach_count() const { return rach_; }
+
+  /// Drops all captured records (identity map is kept).
+  void clear_records() { records_.clear(); }
+
+  /// Restricts recording to RNTIs currently bound to the given TMSI
+  /// (callable repeatedly to allow several). This mirrors the paper's
+  /// IRB-mandated filter — "we only stored data from our own UEs ...
+  /// filtering for the RNTIs used by our UEs" — and is how a targeted
+  /// attacker tails one victim without storing a whole cell.
+  void restrict_to_tmsi(lte::Tmsi tmsi);
+  bool restricted() const { return !tmsi_allowlist_.empty(); }
+
+  /// Registers an out-of-band (IMSI-catcher-assisted) binding and keeps the
+  /// targeted-recording filter consistent with it.
+  void add_manual_binding(lte::Rnti rnti, lte::Tmsi tmsi, lte::CellId cell, TimeMs from);
+
+ private:
+  bool rnti_allowed(lte::Rnti rnti) const;
+
+  SnifferConfig config_;
+  Rng rng_;
+  Trace records_;
+  IdentityMapper identity_map_;
+  std::unordered_map<lte::Rnti, TimeMs> last_seen_;
+  std::unordered_set<lte::Tmsi> tmsi_allowlist_;
+  std::unordered_set<lte::Rnti> allowed_rntis_;  // live bindings of allowlisted TMSIs
+  std::size_t missed_ = 0;
+  std::size_t paging_ = 0;
+  std::size_t rach_ = 0;
+};
+
+}  // namespace ltefp::sniffer

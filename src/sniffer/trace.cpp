@@ -1,0 +1,98 @@
+#include "sniffer/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace ltefp::sniffer {
+
+Trace filter_direction(const Trace& trace, lte::LinkFilter filter) {
+  if (filter == lte::LinkFilter::kBoth) return trace;
+  Trace out;
+  out.reserve(trace.size());
+  for (const auto& r : trace) {
+    if (lte::direction_passes(filter, r.direction)) out.push_back(r);
+  }
+  return out;
+}
+
+Trace slice_time(const Trace& trace, TimeMs begin, TimeMs end) {
+  Trace out;
+  for (const auto& r : trace) {
+    if (r.time >= begin && r.time < end) out.push_back(r);
+  }
+  return out;
+}
+
+long long total_bytes(const Trace& trace) {
+  long long sum = 0;
+  for (const auto& r : trace) sum += r.tb_bytes;
+  return sum;
+}
+
+namespace {
+
+template <typename Value>
+std::vector<double> per_bin(const Trace& trace, TimeMs origin, TimeMs bin_ms,
+                            std::size_t bin_count, Value value) {
+  std::vector<double> bins(bin_count, 0.0);
+  if (bin_ms <= 0) throw std::invalid_argument("per_bin: bin_ms must be positive");
+  for (const auto& r : trace) {
+    if (r.time < origin) continue;
+    const auto idx = static_cast<std::size_t>((r.time - origin) / bin_ms);
+    if (idx >= bin_count) continue;
+    bins[idx] += value(r);
+  }
+  return bins;
+}
+
+}  // namespace
+
+std::vector<double> frames_per_bin(const Trace& trace, TimeMs origin, TimeMs bin_ms,
+                                   std::size_t bin_count) {
+  return per_bin(trace, origin, bin_ms, bin_count, [](const TraceRecord&) { return 1.0; });
+}
+
+std::vector<double> bytes_per_bin(const Trace& trace, TimeMs origin, TimeMs bin_ms,
+                                  std::size_t bin_count) {
+  return per_bin(trace, origin, bin_ms, bin_count,
+                 [](const TraceRecord& r) { return static_cast<double>(r.tb_bytes); });
+}
+
+void write_csv(std::ostream& out, const Trace& trace) {
+  CsvWriter writer(out);
+  writer.write_row({"time_ms", "rnti", "direction", "tb_bytes", "cell"});
+  for (const auto& r : trace) {
+    writer.write_row({std::to_string(r.time), std::to_string(r.rnti),
+                      r.direction == lte::Direction::kDownlink ? "DL" : "UL",
+                      std::to_string(r.tb_bytes), std::to_string(r.cell)});
+  }
+}
+
+Trace read_csv(const std::string& text) {
+  const auto rows = parse_csv(text);
+  if (rows.empty()) return {};
+  Trace trace;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() < 5) throw std::runtime_error("trace csv: short row");
+    TraceRecord r;
+    r.time = std::stoll(row[0]);
+    r.rnti = static_cast<lte::Rnti>(std::stoul(row[1]));
+    if (row[2] == "DL") {
+      r.direction = lte::Direction::kDownlink;
+    } else if (row[2] == "UL") {
+      r.direction = lte::Direction::kUplink;
+    } else {
+      throw std::runtime_error("trace csv: bad direction " + row[2]);
+    }
+    r.tb_bytes = std::stoi(row[3]);
+    r.cell = static_cast<lte::CellId>(std::stoul(row[4]));
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace ltefp::sniffer

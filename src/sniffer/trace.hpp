@@ -1,0 +1,56 @@
+// Trace records: the attacker's entire information product.
+//
+// Each record is one decoded DCI — (timestamp, RNTI, direction, transport
+// block size) — which is exactly the metadata tuple the paper extracts with
+// its customised srsLTE pdsch_ue module. Everything downstream (features,
+// classifiers, DTW) consumes only these.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "lte/types.hpp"
+
+namespace ltefp::sniffer {
+
+struct TraceRecord {
+  TimeMs time = 0;
+  lte::Rnti rnti = 0;
+  lte::Direction direction = lte::Direction::kDownlink;
+  int tb_bytes = 0;
+  lte::CellId cell = 0;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+/// Keeps only records matching the link filter (paper Tables III/IV evaluate
+/// Down+Up, Down-only and Up-only variants).
+Trace filter_direction(const Trace& trace, lte::LinkFilter filter);
+
+/// Keeps records with time in [begin, end).
+Trace slice_time(const Trace& trace, TimeMs begin, TimeMs end);
+
+/// Total bytes across the trace.
+long long total_bytes(const Trace& trace);
+
+/// Frame counts per fixed-size time bin starting at `origin` — the time
+/// series the correlation attack feeds into DTW ("graphs with respect to
+/// the number of frames", T_w binning).
+std::vector<double> frames_per_bin(const Trace& trace, TimeMs origin, TimeMs bin_ms,
+                                   std::size_t bin_count);
+
+/// Bytes per fixed-size time bin (alternative correlation series).
+std::vector<double> bytes_per_bin(const Trace& trace, TimeMs origin, TimeMs bin_ms,
+                                  std::size_t bin_count);
+
+/// CSV round-trip, mirroring the paper's released dataset format:
+/// header "time_ms,rnti,direction,tb_bytes,cell".
+void write_csv(std::ostream& out, const Trace& trace);
+Trace read_csv(const std::string& text);
+
+}  // namespace ltefp::sniffer

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/app_id.hpp"
+#include "apps/background.hpp"
+#include "apps/conversation.hpp"
+#include "apps/drift.hpp"
+#include "apps/factory.hpp"
+#include "common/rng.hpp"
+
+namespace ltefp::apps {
+namespace {
+
+struct Totals {
+  long long ul_bytes = 0;
+  long long dl_bytes = 0;
+  std::size_t packets = 0;
+};
+
+Totals run_source(lte::TrafficSource& source, TimeMs duration) {
+  Totals totals;
+  std::vector<lte::AppPacket> out;
+  for (TimeMs t = 0; t < duration; ++t) {
+    out.clear();
+    source.step(t, out);
+    for (const auto& pkt : out) {
+      EXPECT_GT(pkt.bytes, 0);
+      ++totals.packets;
+      if (pkt.direction == lte::Direction::kUplink) {
+        totals.ul_bytes += pkt.bytes;
+      } else {
+        totals.dl_bytes += pkt.bytes;
+      }
+    }
+  }
+  return totals;
+}
+
+TEST(AppId, CategoriesAndNames) {
+  EXPECT_EQ(category_of(AppId::kNetflix), AppCategory::kStreaming);
+  EXPECT_EQ(category_of(AppId::kTelegram), AppCategory::kMessaging);
+  EXPECT_EQ(category_of(AppId::kSkype), AppCategory::kVoip);
+  EXPECT_STREQ(to_string(AppId::kAmazonPrime), "Amazon Prime");
+  EXPECT_EQ(app_from_string("WhatsApp"), AppId::kWhatsApp);
+  EXPECT_EQ(app_from_string("nonsense"), std::nullopt);
+  for (const AppId app : kAllApps) {
+    EXPECT_EQ(app_from_string(to_string(app)), app);
+  }
+}
+
+TEST(AppId, AppsInCategoryRoundTrip) {
+  for (const auto category :
+       {AppCategory::kStreaming, AppCategory::kMessaging, AppCategory::kVoip}) {
+    for (const AppId app : apps_in_category(category)) {
+      EXPECT_EQ(category_of(app), category);
+    }
+  }
+}
+
+// Every app's model runs and produces traffic.
+class EveryApp : public ::testing::TestWithParam<AppId> {};
+
+TEST_P(EveryApp, GeneratesTraffic) {
+  auto source = make_app_source(GetParam(), minutes(1), Rng(42));
+  ASSERT_NE(source, nullptr);
+  const Totals totals = run_source(*source, minutes(1));
+  EXPECT_GT(totals.packets, 10u) << to_string(GetParam());
+  EXPECT_GT(totals.ul_bytes + totals.dl_bytes, 1000) << to_string(GetParam());
+}
+
+TEST_P(EveryApp, DeterministicForSameSeed) {
+  auto a = make_app_source(GetParam(), seconds(20), Rng(7));
+  auto b = make_app_source(GetParam(), seconds(20), Rng(7));
+  const Totals ta = run_source(*a, seconds(20));
+  const Totals tb = run_source(*b, seconds(20));
+  EXPECT_EQ(ta.packets, tb.packets);
+  EXPECT_EQ(ta.ul_bytes, tb.ul_bytes);
+  EXPECT_EQ(ta.dl_bytes, tb.dl_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, EveryApp, ::testing::ValuesIn(kAllApps),
+                         [](const ::testing::TestParamInfo<AppId>& info) {
+                           std::string name = to_string(info.param);
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Streaming, DownlinkDominates) {
+  // Paper IV-B: streaming is one-way video; uplink is request/ack scale.
+  for (const AppId app : apps_in_category(AppCategory::kStreaming)) {
+    auto source = make_app_source(app, minutes(2), Rng(3));
+    const Totals totals = run_source(*source, minutes(2));
+    EXPECT_GT(totals.dl_bytes, totals.ul_bytes * 10) << to_string(app);
+  }
+}
+
+TEST(Streaming, FrontLoadedBuffering) {
+  // "much more radio resources at the beginning of each session".
+  auto source = make_app_source(AppId::kNetflix, minutes(3), Rng(4));
+  long long first_15s = 0, later_15s = 0;
+  std::vector<lte::AppPacket> out;
+  for (TimeMs t = 0; t < minutes(3); ++t) {
+    out.clear();
+    source->step(t, out);
+    for (const auto& pkt : out) {
+      if (pkt.direction != lte::Direction::kDownlink) continue;
+      if (t < seconds(15)) first_15s += pkt.bytes;
+      if (t >= seconds(120) && t < seconds(135)) later_15s += pkt.bytes;
+    }
+  }
+  EXPECT_GT(first_15s, later_15s);
+}
+
+TEST(Voip, BidirectionalBalance) {
+  // "the only class ... with a significant and similar amount of data
+  // transmitted in both directions".
+  for (const AppId app : apps_in_category(AppCategory::kVoip)) {
+    auto source = make_app_source(app, minutes(2), Rng(5));
+    const Totals totals = run_source(*source, minutes(2));
+    const double ratio = static_cast<double>(totals.ul_bytes) /
+                         static_cast<double>(totals.dl_bytes);
+    EXPECT_GT(ratio, 0.4) << to_string(app);
+    EXPECT_LT(ratio, 2.5) << to_string(app);
+  }
+}
+
+TEST(Messaging, ScriptsContainTimeoutExceedingIdleGaps) {
+  // IM idle gaps routinely exceed the 10 s RRC timeout -> RNTI refreshes.
+  Rng rng(6);
+  const MessagingParams params = messaging_params(AppId::kWhatsApp);
+  int long_gaps = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const ChatScript script = generate_chat_script(params, minutes(10), rng);
+    ASSERT_GT(script.size(), 5u);
+    for (std::size_t i = 1; i < script.size(); ++i) {
+      ASSERT_GE(script[i].time, script[i - 1].time) << "script must be time-ordered";
+      if (script[i].time - script[i - 1].time > 10'000) ++long_gaps;
+    }
+  }
+  EXPECT_GT(long_gaps, 0);
+}
+
+TEST(Conversation, CallScriptAlternatesAndCovers) {
+  Rng rng(7);
+  const VoipParams params = voip_params(AppId::kSkype);
+  const CallScript script = generate_call_script(params, minutes(2), rng);
+  ASSERT_GT(script.size(), 10u);
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    EXPECT_LT(script[i].start, script[i].end);
+    if (i > 0) {
+      EXPECT_GE(script[i].start, script[i - 1].end);
+      EXPECT_NE(script[i].a_talking, script[i - 1].a_talking) << "parties alternate";
+    }
+  }
+}
+
+TEST(PairedSources, SenderUplinkMirrorsReceiverDownlink) {
+  for (const AppId app : {AppId::kWhatsApp, AppId::kSkype}) {
+    auto [a, b] = make_paired_sources(app, minutes(2), Rng(8), 70);
+    const Totals ta = run_source(*a, minutes(2));
+    const Totals tb = run_source(*b, minutes(2));
+    // What A uplinks, B downlinks (plus/minus edge effects and local
+    // receipts); totals must be within ~35%.
+    const double ratio = static_cast<double>(ta.ul_bytes) /
+                         std::max<long long>(tb.dl_bytes, 1);
+    EXPECT_GT(ratio, 0.65) << to_string(app);
+    EXPECT_LT(ratio, 1.55) << to_string(app);
+  }
+}
+
+TEST(PairedSources, StreamingThrows) {
+  EXPECT_THROW(make_paired_sources(AppId::kYoutube, minutes(1), Rng(9)),
+               std::invalid_argument);
+}
+
+TEST(Drift, DayZeroIsIdentity) {
+  const DriftModel drift;
+  for (const AppId app : kAllApps) {
+    const DriftFactors f = drift.at(app, 0);
+    EXPECT_DOUBLE_EQ(f.size_scale, 1.0);
+    EXPECT_DOUBLE_EQ(f.interval_scale, 1.0);
+    EXPECT_DOUBLE_EQ(f.shape_shift, 0.0);
+  }
+}
+
+TEST(Drift, DeterministicAndCumulative) {
+  const DriftModel drift(0.05, 123);
+  const DriftFactors a1 = drift.at(AppId::kYoutube, 5);
+  const DriftFactors a2 = drift.at(AppId::kYoutube, 5);
+  EXPECT_DOUBLE_EQ(a1.size_scale, a2.size_scale);
+  // Different apps drift independently.
+  const DriftFactors other = drift.at(AppId::kNetflix, 5);
+  EXPECT_NE(a1.size_scale, other.size_scale);
+  // Shape shift grows with the day index.
+  EXPECT_GT(drift.at(AppId::kYoutube, 20).shape_shift,
+            drift.at(AppId::kYoutube, 5).shape_shift);
+}
+
+TEST(Drift, AppliesToParams) {
+  DriftFactors f;
+  f.size_scale = 2.0;
+  StreamingParams sp = streaming_params(AppId::kYoutube);
+  const double original = sp.segment_kb_mean;
+  apply_drift(sp, f);
+  EXPECT_NEAR(sp.segment_kb_mean, original * 2.0, 1e-9);
+
+  VoipParams vp = voip_params(AppId::kSkype);
+  const double frame = vp.frame_bytes_mean;
+  apply_drift(vp, f);
+  EXPECT_NEAR(vp.frame_bytes_mean, frame * 2.0, 1e-9);
+}
+
+TEST(Background, WebBrowsingGeneratesBurstyDownlink) {
+  WebBrowsingSource::Params params;
+  params.think_mean_s = 2.0;
+  WebBrowsingSource source(params, Rng(10));
+  const Totals totals = run_source(source, minutes(1));
+  EXPECT_GT(totals.packets, 20u);
+  EXPECT_GT(totals.dl_bytes, totals.ul_bytes);
+}
+
+TEST(Background, MixRunsRequestedAppCount) {
+  BackgroundAppMix mix(5, Rng(11));
+  const Totals totals = run_source(mix, seconds(30));
+  EXPECT_GT(totals.packets, 0u);
+}
+
+TEST(Background, CompositeMergesBothSources) {
+  auto fg = make_app_source(AppId::kSkype, seconds(30), Rng(12));
+  auto voip_only = make_app_source(AppId::kSkype, seconds(30), Rng(12));
+  CompositeSource composite(std::move(fg),
+                            std::make_unique<BackgroundAppMix>(3, Rng(13)));
+  const Totals with_noise = run_source(composite, seconds(30));
+  const Totals clean = run_source(*voip_only, seconds(30));
+  EXPECT_GT(with_noise.packets, clean.packets);
+  EXPECT_STREQ(composite.name(), "Skype");
+}
+
+TEST(Params, WrongCategoryThrows) {
+  EXPECT_THROW(streaming_params(AppId::kSkype), std::invalid_argument);
+  EXPECT_THROW(messaging_params(AppId::kNetflix), std::invalid_argument);
+  EXPECT_THROW(voip_params(AppId::kWhatsApp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ltefp::apps

@@ -1,0 +1,91 @@
+#include "lte/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ltefp::lte {
+namespace {
+
+TEST(CqiMapping, BoundsAndMonotonicity) {
+  EXPECT_EQ(ChannelModel::cqi_from_snr(-30.0), 1);
+  EXPECT_EQ(ChannelModel::cqi_from_snr(50.0), 15);
+  int prev = 0;
+  for (double snr = -10.0; snr <= 35.0; snr += 0.5) {
+    const int cqi = ChannelModel::cqi_from_snr(snr);
+    ASSERT_GE(cqi, 1);
+    ASSERT_LE(cqi, 15);
+    ASSERT_GE(cqi, prev);
+    prev = cqi;
+  }
+}
+
+TEST(McsMapping, BoundsAndMonotonicity) {
+  int prev = 0;
+  for (int cqi = 1; cqi <= 15; ++cqi) {
+    const int mcs = ChannelModel::mcs_from_cqi(cqi);
+    ASSERT_GE(mcs, 0);
+    ASSERT_LE(mcs, 28);
+    ASSERT_GE(mcs, prev);
+    prev = mcs;
+  }
+  EXPECT_EQ(ChannelModel::mcs_from_cqi(0), ChannelModel::mcs_from_cqi(1));   // clamped
+  EXPECT_EQ(ChannelModel::mcs_from_cqi(20), ChannelModel::mcs_from_cqi(15));
+}
+
+TEST(ChannelModel, StaticWithoutVolatility) {
+  ChannelConfig config;
+  config.mean_snr_db = 18.0;
+  config.volatility_db = 0.0;
+  ChannelModel ch(config, Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(ch.step(), 18.0);
+  }
+}
+
+TEST(ChannelModel, StaysWithinClampBounds) {
+  ChannelConfig config;
+  config.mean_snr_db = 15.0;
+  config.volatility_db = 10.0;  // violent fading
+  config.min_snr_db = -5.0;
+  config.max_snr_db = 30.0;
+  ChannelModel ch(config, Rng(2));
+  for (int i = 0; i < 10'000; ++i) {
+    const double snr = ch.step();
+    ASSERT_GE(snr, -5.0);
+    ASSERT_LE(snr, 30.0);
+  }
+}
+
+TEST(ChannelModel, MeanReverts) {
+  ChannelConfig config;
+  config.mean_snr_db = 20.0;
+  config.volatility_db = 1.0;
+  config.reversion = 0.05;
+  ChannelModel ch(config, Rng(3));
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += ch.step();
+  EXPECT_NEAR(sum / n, 20.0, 0.5);
+}
+
+TEST(ChannelModel, DeterministicPerSeed) {
+  ChannelConfig config;
+  config.volatility_db = 2.0;
+  ChannelModel a(config, Rng(9)), b(config, Rng(9));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.step(), b.step());
+  }
+}
+
+TEST(ChannelModel, CurrentMcsTracksSnr) {
+  ChannelConfig good;
+  good.mean_snr_db = 28.0;
+  good.volatility_db = 0.0;
+  ChannelConfig bad;
+  bad.mean_snr_db = -2.0;
+  bad.volatility_db = 0.0;
+  ChannelModel strong(good, Rng(1)), weak(bad, Rng(1));
+  EXPECT_GT(strong.current_mcs(), weak.current_mcs());
+}
+
+}  // namespace
+}  // namespace ltefp::lte

@@ -1,0 +1,126 @@
+#include "lte/countermeasures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/factory.hpp"
+#include "attacks/collect.hpp"
+#include "lte/network.hpp"
+#include "lte/operator_profile.hpp"
+#include "sniffer/sniffer.hpp"
+
+namespace ltefp::lte {
+namespace {
+
+TEST(PadTbBytes, LadderRounding) {
+  CountermeasureConfig config;
+  config.pad_to_bytes = 256;
+  EXPECT_EQ(pad_tb_bytes(1, config), 256);
+  EXPECT_EQ(pad_tb_bytes(256, config), 256);
+  EXPECT_EQ(pad_tb_bytes(257, config), 512);
+  EXPECT_EQ(pad_tb_bytes(1000, config), 1024);
+}
+
+TEST(PadTbBytes, DisabledIsIdentity) {
+  CountermeasureConfig config;
+  EXPECT_EQ(pad_tb_bytes(123, config), 123);
+  EXPECT_FALSE(config.enabled());
+  config.pad_to_bytes = 64;
+  EXPECT_TRUE(config.enabled());
+}
+
+class DefendedCell : public ::testing::Test {
+ protected:
+  sniffer::Trace run_victim(const CountermeasureConfig& countermeasures, bool conceal,
+                            TimeMs duration = seconds(25)) {
+    Simulation sim(77);
+    const CellId cell = sim.add_cell(operator_profile(Operator::kLab), countermeasures, conceal);
+    const UeId ue = sim.add_ue(42);
+    sim.camp(ue, cell);
+    sniffer_ = std::make_unique<sniffer::Sniffer>(sniffer::SnifferConfig{}, Rng(9));
+    sim.add_observer(cell, *sniffer_);
+    tmsi_ = sim.tmsi_of(ue);
+    sim.set_traffic_source(ue,
+                           apps::make_app_source(apps::AppId::kSkype, duration, Rng(3)));
+    sim.run_for(duration);
+    return sniffer_->trace_of_tmsi(tmsi_);
+  }
+
+  std::unique_ptr<sniffer::Sniffer> sniffer_;
+  Tmsi tmsi_ = 0;
+};
+
+TEST_F(DefendedCell, RekeyShedsThePassiveTracker) {
+  const sniffer::Trace baseline = run_victim({}, false);
+  CountermeasureConfig rekey;
+  rekey.rnti_rekey_period = seconds(2);
+  const sniffer::Trace defended = run_victim(rekey, false);
+  // After the first re-key the victim's new RNTI is unknown to the
+  // identity map, so attributable capture collapses.
+  EXPECT_LT(defended.size(), baseline.size() / 4);
+  // But the cell kept serving the victim: unattributed records exist.
+  EXPECT_GT(sniffer_->decoded_count(), defended.size());
+}
+
+TEST_F(DefendedCell, RekeyChangesObservedRntiPopulation) {
+  CountermeasureConfig rekey;
+  rekey.rnti_rekey_period = seconds(2);
+  run_victim(rekey, false, seconds(11));
+  // One UE, ~11 s, re-keyed every 2 s: the raw capture (all RNTIs) must
+  // show several distinct C-RNTIs.
+  std::set<Rnti> rntis;
+  for (const auto& r : sniffer_->records()) rntis.insert(r.rnti);
+  EXPECT_GE(rntis.size(), 4u);
+}
+
+TEST_F(DefendedCell, PaddingQuantisesObservedSizes) {
+  CountermeasureConfig pad;
+  pad.pad_to_bytes = 512;
+  const sniffer::Trace defended = run_victim(pad, false);
+  ASSERT_FALSE(defended.empty());
+  // Observed TBS must always cover the padded ladder step: the grant is
+  // inflated, so sizes concentrate on few large values.
+  std::set<int> distinct;
+  for (const auto& r : defended) distinct.insert(r.tb_bytes);
+  const sniffer::Trace baseline = run_victim({}, false);
+  std::set<int> baseline_distinct;
+  for (const auto& r : baseline) baseline_distinct.insert(r.tb_bytes);
+  EXPECT_LT(distinct.size(), baseline_distinct.size());
+  // And padding costs bytes on the air.
+  EXPECT_GT(sniffer::total_bytes(defended), sniffer::total_bytes(baseline));
+}
+
+TEST_F(DefendedCell, ChaffAddsRecordsBeyondRealTraffic) {
+  const sniffer::Trace baseline = run_victim({}, false);
+  CountermeasureConfig chaff;
+  chaff.dummy_grant_rate = 0.2;
+  const sniffer::Trace defended = run_victim(chaff, false);
+  EXPECT_GT(defended.size(), baseline.size());
+}
+
+TEST_F(DefendedCell, SuciConcealmentBreaksIdentityMapping) {
+  const sniffer::Trace defended = run_victim({}, true);
+  // Msg3/Msg4 still happen, but with one-time identities: nothing maps to
+  // the victim's TMSI, so the targeted trace is empty.
+  EXPECT_TRUE(defended.empty());
+  EXPECT_TRUE(sniffer_->identities().bindings_of(tmsi_).empty());
+  // The RRC exchange itself was observed (the defence hides identity, not
+  // activity).
+  EXPECT_GE(sniffer_->rach_count(), 1u);
+}
+
+TEST(DefendedCollect, CountermeasuresFlowThroughCollectConfig) {
+  attacks::CollectConfig config;
+  config.op = Operator::kLab;
+  config.duration = seconds(15);
+  config.seed = 5;
+  const auto baseline = attacks::collect_trace(apps::AppId::kSkype, config);
+  config.conceal_identity = true;
+  const auto concealed = attacks::collect_trace(apps::AppId::kSkype, config);
+  EXPECT_GT(baseline.trace.size(), 0u);
+  EXPECT_EQ(concealed.trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ltefp::lte

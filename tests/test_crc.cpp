@@ -1,0 +1,62 @@
+#include "lte/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ltefp::lte {
+namespace {
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/XMODEM ("123456789") = 0x31C3 — same polynomial/init as
+  // TS 36.212 gCRC16.
+  const std::string s = "123456789";
+  const std::vector<std::uint8_t> payload(s.begin(), s.end());
+  EXPECT_EQ(crc16(payload), 0x31C3);
+}
+
+TEST(Crc16, EmptyPayload) {
+  EXPECT_EQ(crc16({}), 0x0000);
+}
+
+TEST(Crc16, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> payload{0x12, 0x34, 0x56, 0x78};
+  const std::uint16_t original = crc16(payload);
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = payload;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc16(corrupted), original)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+class RntiMaskRoundTrip : public ::testing::TestWithParam<Rnti> {};
+
+TEST_P(RntiMaskRoundTrip, RecoverReturnsOriginalRnti) {
+  const Rnti rnti = GetParam();
+  const std::vector<std::uint8_t> payload{0xDE, 0xAD, 0xBE, 0xEF};
+  const std::uint16_t masked = crc16_masked(payload, rnti);
+  EXPECT_EQ(recover_rnti(payload, masked), rnti);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rntis, RntiMaskRoundTrip,
+                         ::testing::Values<Rnti>(0x0000, 0x003D, 0x1234, 0x7F2A, 0xFFF3,
+                                                 0xFFFE, 0xFFFF));
+
+TEST(RntiMask, DifferentRntisDifferentMask) {
+  const std::vector<std::uint8_t> payload{0x01, 0x02, 0x03, 0x04};
+  EXPECT_NE(crc16_masked(payload, 0x1111), crc16_masked(payload, 0x2222));
+}
+
+TEST(RntiMask, WrongPayloadRecoversWrongRnti) {
+  // The aliasing that forces real blind decoders to validate candidates.
+  const std::vector<std::uint8_t> payload{0x01, 0x02, 0x03, 0x04};
+  const std::uint16_t masked = crc16_masked(payload, 0x1234);
+  const std::vector<std::uint8_t> other{0x01, 0x02, 0x03, 0x05};
+  EXPECT_NE(recover_rnti(other, masked), 0x1234);
+}
+
+}  // namespace
+}  // namespace ltefp::lte

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "ml/crossval.hpp"
+#include "ml/hierarchical.hpp"
+#include "ml/random_forest.hpp"
+
+namespace ltefp::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, int classes, double sep, Rng& rng) {
+  Dataset data;
+  data.feature_names = {"x", "y", "z"};
+  data.label_names.resize(static_cast<std::size_t>(classes));
+  for (int c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      data.add({rng.normal(c * sep, 1.0), rng.normal(-c * sep, 1.0), rng.normal(0, 1.0)}, c);
+    }
+  }
+  return data;
+}
+
+TEST(StratifiedFolds, BalancedPerClass) {
+  Rng rng(1);
+  const Dataset data = blobs(40, 3, 2.0, rng);
+  const auto folds = stratified_folds(data, 4, 9);
+  ASSERT_EQ(folds.size(), data.size());
+  // Each fold holds exactly 10 samples of each class.
+  std::vector<std::vector<int>> counts(4, std::vector<int>(3, 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ++counts[static_cast<std::size_t>(folds[i])][static_cast<std::size_t>(data.samples[i].label)];
+  }
+  for (const auto& fold : counts) {
+    for (const int count : fold) EXPECT_EQ(count, 10);
+  }
+}
+
+TEST(StratifiedFolds, TooFewFoldsThrows) {
+  Rng rng(2);
+  const Dataset data = blobs(10, 2, 2.0, rng);
+  EXPECT_THROW(stratified_folds(data, 1, 0), std::invalid_argument);
+}
+
+TEST(CrossVal, HighAccuracyOnSeparableData) {
+  Rng rng(3);
+  const Dataset data = blobs(60, 3, 8.0, rng);
+  RandomForest model(ForestConfig{.num_trees = 15});
+  EXPECT_GT(cross_val_accuracy(model, data, 4, 11), 0.95);
+}
+
+TEST(CrossVal, ChanceLevelOnPureNoise) {
+  Rng rng(4);
+  const Dataset data = blobs(100, 2, 0.0, rng);  // identical class distributions
+  RandomForest model(ForestConfig{.num_trees = 15});
+  const double acc = cross_val_accuracy(model, data, 4, 12);
+  EXPECT_NEAR(acc, 0.5, 0.12);
+}
+
+int group_of(int label) { return label / 2; }  // labels 0,1 -> group 0; 2,3 -> group 1
+
+TEST(Hierarchical, FitsAndPredictsFineLabels) {
+  Rng rng(5);
+  const Dataset train = blobs(80, 4, 6.0, rng);
+  const Dataset test = blobs(30, 4, 6.0, rng);
+  HierarchicalClassifier model(group_of, 2, [] {
+    return std::make_unique<RandomForest>(ForestConfig{.num_trees = 20});
+  });
+  model.fit(train);
+  std::size_t correct = 0;
+  for (const auto& s : test.samples) {
+    const int predicted = model.predict(s.features);
+    EXPECT_EQ(group_of(predicted), model.predict_group(s.features));
+    if (predicted == s.label) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.9);
+}
+
+TEST(Hierarchical, ProbaAggregatesGroupTimesFine) {
+  Rng rng(6);
+  const Dataset train = blobs(50, 4, 5.0, rng);
+  HierarchicalClassifier model(group_of, 2, [] {
+    return std::make_unique<RandomForest>(ForestConfig{.num_trees = 10});
+  });
+  model.fit(train);
+  const auto proba = model.predict_proba(train.samples[0].features);
+  ASSERT_EQ(proba.size(), 4u);
+  double sum = 0.0;
+  for (const double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Hierarchical, SingleAppGroupShortCircuits) {
+  // Group 1 contains a single label: no second-stage model needed.
+  Rng rng(7);
+  Dataset train;
+  train.feature_names = {"x"};
+  train.label_names = {"a", "b", "c"};
+  for (int i = 0; i < 30; ++i) {
+    train.add({rng.normal(0, 1)}, 0);
+    train.add({rng.normal(10, 1)}, 1);
+    train.add({rng.normal(20, 1)}, 2);
+  }
+  const auto to_group = [](int label) { return label == 2 ? 1 : 0; };
+  HierarchicalClassifier model(to_group, 2, [] {
+    return std::make_unique<RandomForest>(ForestConfig{.num_trees = 10});
+  });
+  model.fit(train);
+  EXPECT_EQ(model.predict({20.0}), 2);
+  EXPECT_EQ(model.predict({0.0}), 0);
+}
+
+TEST(Hierarchical, EmptyFitThrows) {
+  HierarchicalClassifier model(group_of, 2,
+                               [] { return std::make_unique<RandomForest>(); });
+  EXPECT_THROW(model.fit(Dataset{}), std::invalid_argument);
+  EXPECT_THROW(model.predict({1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ltefp::ml

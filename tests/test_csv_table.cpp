@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/sim_time.hpp"
+#include "common/table.hpp"
+
+namespace ltefp {
+namespace {
+
+TEST(Csv, SimpleRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b", "c"});
+  writer.write_row({"1", "2", "3"});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, QuotingCommaQuoteNewline) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "has,comma");
+  EXPECT_EQ(rows[0][1], "has\"quote");
+  EXPECT_EQ(rows[0][2], "has\nnewline");
+  EXPECT_EQ(rows[0][3], "plain");
+}
+
+TEST(Csv, EmptyCells) {
+  const auto rows = parse_csv("a,,c\n,,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(Csv, CrlfTolerated) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Csv, MissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"abc"), std::runtime_error);
+}
+
+TEST(Csv, EmptyDocument) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string s = table.render("Title");
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // All rendered lines between borders have equal width.
+  std::istringstream in(s);
+  std::string line;
+  std::getline(in, line);  // title
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(table.render().find("only-one"), std::string::npos);
+}
+
+TEST(Fmt, Formats) {
+  EXPECT_EQ(fmt(0.98765), "0.988");
+  EXPECT_EQ(fmt(0.5, 1), "0.5");
+  EXPECT_EQ(fmt_pct(0.8535), "85.35%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(FormatHms, Formats) {
+  EXPECT_EQ(format_hms(0), "0:00:00");
+  EXPECT_EQ(format_hms(61'000), "0:01:01");
+  EXPECT_EQ(format_hms(2 * kMsPerHour + 3 * kMsPerMinute + 4 * kMsPerSecond), "2:03:04");
+  EXPECT_EQ(format_hms(-5), "0:00:00");
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(seconds(1.5), 1500);
+  EXPECT_EQ(minutes(2), 120'000);
+}
+
+}  // namespace
+}  // namespace ltefp

@@ -1,0 +1,156 @@
+#include "dtw/dtw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ltefp::dtw {
+namespace {
+
+TEST(Dtw, IdenticalSeriesHaveZeroDistance) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const DtwResult r = dtw_distance(a, a);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.path_length, 5u);
+  EXPECT_DOUBLE_EQ(series_similarity(a, a), 1.0);
+}
+
+TEST(Dtw, HandComputedSmallExample) {
+  // a = [0, 2], b = [0, 2, 2]: the warping path duplicates the final
+  // element at zero extra cost. Accumulated distance 0, path length 3.
+  const std::vector<double> a{0, 2};
+  const std::vector<double> b{0, 2, 2};
+  DtwOptions options;
+  options.normalize_by_path = false;
+  const DtwResult r = dtw_distance(a, b, options);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.path_length, 3u);
+}
+
+TEST(Dtw, EquationOneRecurrence) {
+  // a = [1, 3], b = [2, 4] (unnormalised):
+  // D(1,1)=1, D(1,2)=|1-4|+1=4, D(2,1)=|3-2|+1=2, D(2,2)=|3-4|+min(1,4,2)=2.
+  const std::vector<double> a{1, 3};
+  const std::vector<double> b{2, 4};
+  DtwOptions options;
+  options.normalize_by_path = false;
+  const DtwResult r = dtw_distance(a, b, options);
+  EXPECT_DOUBLE_EQ(r.distance, 2.0);
+}
+
+TEST(Dtw, SymmetricInArguments) {
+  Rng rng(4);
+  std::vector<double> a(40), b(40);
+  for (auto& v : a) v = rng.uniform(0, 10);
+  for (auto& v : b) v = rng.uniform(0, 10);
+  const DtwResult ab = dtw_distance(a, b);
+  const DtwResult ba = dtw_distance(b, a);
+  EXPECT_NEAR(ab.distance, ba.distance, 1e-12);
+}
+
+TEST(Dtw, ToleratesTimeShiftBetterThanEuclidean) {
+  // A spike at index 10 vs the same spike at index 13: DTW warps across
+  // it cheaply; lockstep comparison would pay the full spike twice.
+  std::vector<double> a(30, 0.0), b(30, 0.0);
+  a[10] = 50.0;
+  b[13] = 50.0;
+  const DtwResult r = dtw_distance(a, b);
+  double lockstep = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) lockstep += std::abs(a[i] - b[i]);
+  lockstep /= static_cast<double>(a.size());
+  EXPECT_LT(r.distance, lockstep * 0.2);
+}
+
+TEST(Dtw, EmptySeriesReportsMaxDistance) {
+  const std::vector<double> a{1, 2};
+  const DtwResult r = dtw_distance(a, {});
+  EXPECT_EQ(r.path_length, 0u);
+  EXPECT_GT(r.distance, 1e100);
+  EXPECT_EQ(series_similarity(a, {}), 0.0);
+}
+
+TEST(Dtw, BandConstraintRaisesOrKeepsDistance) {
+  Rng rng(6);
+  std::vector<double> a(80), b(80);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(static_cast<double>(i) / 5.0) * 10.0;
+    b[i] = std::sin((static_cast<double>(i) - 8.0) / 5.0) * 10.0;  // shifted
+  }
+  DtwOptions unconstrained;
+  DtwOptions narrow;
+  narrow.band = 2;
+  const double d_free = dtw_distance(a, b, unconstrained).distance;
+  const double d_band = dtw_distance(a, b, narrow).distance;
+  EXPECT_GE(d_band, d_free);
+}
+
+TEST(Dtw, BandWidensToFitLengthDifference) {
+  // |n - m| > band would make the end cell unreachable; the implementation
+  // must widen the band instead of returning infinity.
+  const std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> b{1, 8};
+  DtwOptions options;
+  options.band = 0;
+  const DtwResult r = dtw_distance(a, b, options);
+  EXPECT_LT(r.distance, 1e100);
+  EXPECT_GT(r.path_length, 0u);
+}
+
+TEST(Dtw, PathNormalisationDividesByLength) {
+  const std::vector<double> a{0, 10, 0, 10};
+  const std::vector<double> b{10, 0, 10, 0};
+  DtwOptions raw;
+  raw.normalize_by_path = false;
+  DtwOptions norm;
+  norm.normalize_by_path = true;
+  const DtwResult r_raw = dtw_distance(a, b, raw);
+  const DtwResult r_norm = dtw_distance(a, b, norm);
+  ASSERT_GT(r_norm.path_length, 0u);
+  EXPECT_NEAR(r_norm.distance,
+              r_raw.distance / static_cast<double>(r_norm.path_length), 1e-12);
+}
+
+TEST(Similarity, MonotoneInDistance) {
+  EXPECT_GT(similarity_from_distance(1.0, 5.0), similarity_from_distance(2.0, 5.0));
+  EXPECT_DOUBLE_EQ(similarity_from_distance(0.0, 5.0), 1.0);
+  EXPECT_EQ(similarity_from_distance(1.0, 0.0), 0.0);
+}
+
+TEST(Similarity, DegradesWithNoise) {
+  Rng rng(8);
+  std::vector<double> base(120);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = 10.0 + 8.0 * std::sin(static_cast<double>(i) / 7.0);
+  }
+  double prev = 1.1;
+  for (const double noise : {0.0, 2.0, 6.0, 15.0}) {
+    auto noisy = base;
+    for (auto& v : noisy) v += rng.normal(0.0, noise);
+    const double sim = series_similarity(base, noisy);
+    EXPECT_LT(sim, prev) << "noise=" << noise;
+    prev = sim;
+  }
+}
+
+// Property sweep over lengths: similarity in [0,1], self-similarity 1.
+class DtwLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtwLengthSweep, SimilarityBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> a(static_cast<std::size_t>(GetParam()));
+  std::vector<double> b(static_cast<std::size_t>(GetParam()));
+  for (auto& v : a) v = rng.uniform(0, 30);
+  for (auto& v : b) v = rng.uniform(0, 30);
+  const double sim = series_similarity(a, b);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+  EXPECT_DOUBLE_EQ(series_similarity(a, a), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, DtwLengthSweep, ::testing::Values(1, 3, 10, 60, 300));
+
+}  // namespace
+}  // namespace ltefp::dtw

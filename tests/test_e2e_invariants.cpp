@@ -1,0 +1,139 @@
+// Cross-stack invariants: properties that must hold end-to-end, from app
+// packet generation through scheduling, PDCCH emission, and passive
+// capture. These pin down the physical consistency of the whole substrate
+// rather than any single module.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/factory.hpp"
+#include "lte/network.hpp"
+#include "lte/operator_profile.hpp"
+#include "sniffer/sniffer.hpp"
+
+namespace ltefp {
+namespace {
+
+/// Counts every byte an app hands to the radio stack.
+class CountingSource final : public lte::TrafficSource {
+ public:
+  CountingSource(std::unique_ptr<lte::TrafficSource> inner) : inner_(std::move(inner)) {}
+  void step(TimeMs now, std::vector<lte::AppPacket>& out) override {
+    const std::size_t before = out.size();
+    inner_->step(now, out);
+    for (std::size_t i = before; i < out.size(); ++i) {
+      (out[i].direction == lte::Direction::kUplink ? ul_bytes_ : dl_bytes_) += out[i].bytes;
+    }
+  }
+  const char* name() const override { return inner_->name(); }
+  long long ul_bytes() const { return ul_bytes_; }
+  long long dl_bytes() const { return dl_bytes_; }
+
+ private:
+  std::unique_ptr<lte::TrafficSource> inner_;
+  long long ul_bytes_ = 0;
+  long long dl_bytes_ = 0;
+};
+
+class EndToEnd : public ::testing::TestWithParam<apps::AppId> {};
+
+TEST_P(EndToEnd, ObservedTbsCoversGeneratedBytesWithBoundedPadding) {
+  // In a clean lab cell with a loss-free sniffer, the TBS total captured
+  // for the victim must cover every byte the app generated (transport
+  // blocks pad up, never truncate), and the padding overhead must stay
+  // within the TBS quantisation bound.
+  lte::Simulation sim(321);
+  const lte::CellId cell = sim.add_cell(lte::operator_profile(lte::Operator::kLab));
+  const lte::UeId ue = sim.add_ue(4711);
+  sim.camp(ue, cell);
+
+  sniffer::Sniffer sniffer(sniffer::SnifferConfig{}, Rng(3));
+  sim.add_observer(cell, sniffer);
+
+  const TimeMs duration = seconds(30);
+  auto counting = std::make_unique<CountingSource>(
+      apps::make_app_source(GetParam(), duration, Rng(11)));
+  CountingSource* counter = counting.get();
+  sim.set_traffic_source(ue, std::move(counting));
+  sim.run_for(duration);
+  // Snapshot before the source is replaced (and destroyed).
+  const long long app_ul = counter->ul_bytes();
+  const long long app_dl = counter->dl_bytes();
+  sim.set_traffic_source(ue, nullptr);
+  sim.run_for(1000);  // drain buffers
+
+  const sniffer::Trace trace = sniffer.trace_of_tmsi(sim.tmsi_of(ue));
+  long long ul_tbs = 0, dl_tbs = 0;
+  for (const auto& r : trace) {
+    ASSERT_GT(r.tb_bytes, 0);
+    (r.direction == lte::Direction::kUplink ? ul_tbs : dl_tbs) += r.tb_bytes;
+  }
+
+  EXPECT_GE(ul_tbs, app_ul) << apps::to_string(GetParam());
+  EXPECT_GE(dl_tbs, app_dl) << apps::to_string(GetParam());
+  // Padding bound: each grant pads less than one full TBS step; with the
+  // Msg4 and per-grant overhead this stays well under 2x for real apps.
+  EXPECT_LT(ul_tbs + dl_tbs, 2 * (app_ul + app_dl) + 50'000)
+      << apps::to_string(GetParam());
+}
+
+TEST_P(EndToEnd, CaptureIsTimeOrderedAndWithinSimulatedTime) {
+  lte::Simulation sim(99);
+  const lte::CellId cell = sim.add_cell(lte::operator_profile(lte::Operator::kTmobile));
+  const lte::UeId ue = sim.add_ue(4712);
+  sim.camp(ue, cell);
+  sniffer::Sniffer sniffer(sniffer::SnifferConfig{}, Rng(4));
+  sniffer.restrict_to_tmsi(sim.tmsi_of(ue));
+  sim.add_observer(cell, sniffer);
+  sim.set_traffic_source(ue, apps::make_app_source(GetParam(), seconds(15), Rng(5)));
+  sim.run_for(seconds(15));
+
+  const auto& records = sniffer.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ASSERT_GE(records[i].time, 0);
+    ASSERT_LT(records[i].time, sim.now());
+    if (i > 0) {
+      ASSERT_GE(records[i].time, records[i - 1].time);
+    }
+    ASSERT_EQ(records[i].cell, cell);
+    ASSERT_GE(records[i].rnti, lte::kMinCRnti);
+    ASSERT_LE(records[i].rnti, lte::kMaxCRnti);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, EndToEnd,
+                         ::testing::Values(apps::AppId::kNetflix, apps::AppId::kTelegram,
+                                           apps::AppId::kSkype),
+                         [](const ::testing::TestParamInfo<apps::AppId>& info) {
+                           std::string name = apps::to_string(info.param);
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(EndToEnd, SnifferNeverSeesMoreThanTheAirCarries) {
+  // A lossless sniffer's record count equals the victim-addressed DCI
+  // count; with 30% miss it captures strictly less.
+  lte::Simulation sim(7);
+  const lte::CellId cell = sim.add_cell(lte::operator_profile(lte::Operator::kLab));
+  const lte::UeId ue = sim.add_ue(4713);
+  sim.camp(ue, cell);
+
+  sniffer::Sniffer lossless(sniffer::SnifferConfig{}, Rng(1));
+  sniffer::SnifferConfig lossy_config;
+  lossy_config.miss_rate = 0.3;
+  sniffer::Sniffer lossy(lossy_config, Rng(2));
+  sim.add_observer(cell, lossless);
+  sim.add_observer(cell, lossy);
+
+  sim.set_traffic_source(ue, apps::make_app_source(apps::AppId::kSkype, seconds(15), Rng(6)));
+  sim.run_for(seconds(15));
+
+  EXPECT_GT(lossless.decoded_count(), 0u);
+  EXPECT_LT(lossy.decoded_count(), lossless.decoded_count());
+  EXPECT_GT(lossy.missed_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ltefp

@@ -1,0 +1,106 @@
+#include "sniffer/identity_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ltefp::sniffer {
+namespace {
+
+lte::RandomAccessResponse rar(TimeMs t, lte::Rnti rnti) {
+  return lte::RandomAccessResponse{t, 0, 1, rnti};
+}
+lte::RrcConnectionRequest request(TimeMs t, lte::Rnti rnti, lte::Tmsi tmsi) {
+  return lte::RrcConnectionRequest{t, 0, rnti, tmsi};
+}
+lte::RrcConnectionSetup setup(TimeMs t, lte::Rnti rnti, lte::Tmsi identity) {
+  return lte::RrcConnectionSetup{t, 0, rnti, identity};
+}
+lte::RrcConnectionRelease release(TimeMs t, lte::Rnti rnti) {
+  return lte::RrcConnectionRelease{t, 0, rnti};
+}
+
+TEST(IdentityMapper, BindsAfterRequestSetupPair) {
+  IdentityMapper mapper;
+  mapper.on_rar(rar(0, 0x100));
+  mapper.on_rrc_request(request(2, 0x100, 0xAAAA));
+  EXPECT_FALSE(mapper.tmsi_of(0x100, 3).has_value()) << "unconfirmed until Msg4";
+  mapper.on_rrc_setup(setup(5, 0x100, 0xAAAA));
+  EXPECT_EQ(mapper.tmsi_of(0x100, 6), 0xAAAAu);
+  EXPECT_EQ(mapper.confirmed_count(), 1u);
+}
+
+TEST(IdentityMapper, ContentionLoserDiscarded) {
+  IdentityMapper mapper;
+  mapper.on_rrc_request(request(2, 0x100, 0xAAAA));
+  // Msg4 echoes a different identity: another UE won the contention.
+  mapper.on_rrc_setup(setup(5, 0x100, 0xBBBB));
+  EXPECT_FALSE(mapper.tmsi_of(0x100, 6).has_value());
+  EXPECT_EQ(mapper.confirmed_count(), 0u);
+}
+
+TEST(IdentityMapper, SetupWithoutRequestIgnored) {
+  IdentityMapper mapper;
+  mapper.on_rrc_setup(setup(5, 0x100, 0xAAAA));
+  EXPECT_FALSE(mapper.tmsi_of(0x100, 6).has_value());
+}
+
+TEST(IdentityMapper, ValidityWindowClosedByRelease) {
+  IdentityMapper mapper;
+  mapper.on_rrc_request(request(0, 0x100, 0xAAAA));
+  mapper.on_rrc_setup(setup(1, 0x100, 0xAAAA));
+  mapper.on_rrc_release(release(100, 0x100));
+  EXPECT_EQ(mapper.tmsi_of(0x100, 50), 0xAAAAu);
+  EXPECT_FALSE(mapper.tmsi_of(0x100, 100).has_value()) << "binding closed at release";
+  EXPECT_FALSE(mapper.tmsi_of(0x100, 500).has_value());
+}
+
+TEST(IdentityMapper, RntiReassignmentToOtherSubscriber) {
+  IdentityMapper mapper;
+  mapper.on_rrc_request(request(0, 0x100, 0xAAAA));
+  mapper.on_rrc_setup(setup(1, 0x100, 0xAAAA));
+  // Later the eNB recycles 0x100 for a different subscriber.
+  mapper.on_rar(rar(200, 0x100));
+  mapper.on_rrc_request(request(202, 0x100, 0xBBBB));
+  mapper.on_rrc_setup(setup(205, 0x100, 0xBBBB));
+
+  EXPECT_EQ(mapper.tmsi_of(0x100, 50), 0xAAAAu);
+  EXPECT_EQ(mapper.tmsi_of(0x100, 300), 0xBBBBu);
+}
+
+TEST(IdentityMapper, TracksRntiHistoryOfOneSubscriber) {
+  IdentityMapper mapper;
+  // Same TMSI reconnects three times under different RNTIs.
+  const lte::Rnti rntis[] = {0x100, 0x200, 0x300};
+  TimeMs t = 0;
+  for (const lte::Rnti rnti : rntis) {
+    mapper.on_rrc_request(request(t, rnti, 0xCAFE));
+    mapper.on_rrc_setup(setup(t + 1, rnti, 0xCAFE));
+    mapper.on_rrc_release(release(t + 100, rnti));
+    t += 1000;
+  }
+  const auto bindings = mapper.bindings_of(0xCAFE);
+  ASSERT_EQ(bindings.size(), 3u);
+  EXPECT_EQ(bindings[0].rnti, 0x100);
+  EXPECT_EQ(bindings[1].rnti, 0x200);
+  EXPECT_EQ(bindings[2].rnti, 0x300);
+  for (const auto& b : bindings) {
+    EXPECT_GE(b.valid_to, b.valid_from);
+  }
+}
+
+TEST(IdentityMapper, ManualBindingCoversHandoverGap) {
+  IdentityMapper mapper;
+  mapper.add_manual_binding(0x777, 0xCAFE, 2, 500);
+  EXPECT_EQ(mapper.tmsi_of(0x777, 600), 0xCAFEu);
+  EXPECT_FALSE(mapper.tmsi_of(0x777, 400).has_value());
+  const auto bindings = mapper.bindings_of(0xCAFE);
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_EQ(bindings[0].cell, 2);
+}
+
+TEST(IdentityMapper, BindingsOfUnknownTmsiEmpty) {
+  IdentityMapper mapper;
+  EXPECT_TRUE(mapper.bindings_of(0xDEAD).empty());
+}
+
+}  // namespace
+}  // namespace ltefp::sniffer

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "attacks/retrain.hpp"
+#include "common/rng.hpp"
+#include "ml/importance.hpp"
+#include "ml/random_forest.hpp"
+
+namespace ltefp {
+namespace {
+
+TEST(PermutationImportance, FindsTheInformativeFeature) {
+  // Feature 0 fully determines the label; features 1-2 are noise.
+  Rng rng(1);
+  features::Dataset data;
+  data.feature_names = {"signal", "noise_a", "noise_b"};
+  data.label_names = {"lo", "hi"};
+  for (int i = 0; i < 400; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    data.add({label * 10.0 + rng.normal(0, 1), rng.normal(0, 5), rng.normal(0, 5)}, label);
+  }
+  ml::RandomForest model(ml::ForestConfig{.num_trees = 20});
+  model.fit(data);
+  const auto ranked = ml::permutation_importance(model, data, 3, 7);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].name, "signal");
+  EXPECT_GT(ranked[0].importance, 0.2);
+  EXPECT_LT(ranked[1].importance, 0.1);
+  EXPECT_LT(ranked[2].importance, 0.1);
+}
+
+TEST(PermutationImportance, InvalidInputsThrow) {
+  ml::RandomForest model;
+  EXPECT_THROW(ml::permutation_importance(model, features::Dataset{}, 3, 7),
+               std::invalid_argument);
+}
+
+TEST(SustainedMonitoring, SawtoothAndCostAccumulation) {
+  attacks::PipelineConfig config;
+  config.op = lte::Operator::kLab;  // fast, and drift is the only enemy
+  config.traces_per_app = 1;
+  config.trace_duration = seconds(40);
+  config.seed = 99;
+
+  attacks::RetrainPolicy policy;
+  policy.threshold = 0.70;
+  policy.check_interval_days = 4;
+
+  const attacks::CostModel cost_model{attacks::CostModelParams{}};
+  const auto series =
+      attacks::simulate_sustained_monitoring(config, 16, policy, cost_model);
+  ASSERT_EQ(series.size(), 5u);  // days 0, 4, 8, 12, 16
+
+  // Day 0 evaluates the model on same-day traffic: healthy score.
+  EXPECT_GT(series[0].weighted_f, policy.threshold);
+  EXPECT_EQ(series[0].model_age_days, 0);
+
+  double prev_cost = 0.0;
+  for (const auto& entry : series) {
+    EXPECT_GE(entry.weighted_f, 0.0);
+    EXPECT_LE(entry.weighted_f, 1.0);
+    EXPECT_GT(entry.cumulative_cost, prev_cost) << "every check costs something";
+    prev_cost = entry.cumulative_cost;
+    // After a retrain the model age resets.
+    if (entry.retrained) {
+      EXPECT_EQ(entry.model_age_days, entry.day - entry.model_age_days >= 0
+                                          ? entry.model_age_days
+                                          : 0);
+    }
+  }
+
+  // Model age only grows between retrains.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (!series[i - 1].retrained) {
+      EXPECT_GT(series[i].model_age_days, 0);
+    } else {
+      EXPECT_EQ(series[i].model_age_days, series[i].day - series[i - 1].day);
+    }
+  }
+}
+
+TEST(SustainedMonitoring, InvalidArgsThrow) {
+  attacks::PipelineConfig config;
+  const attacks::CostModel cost_model{attacks::CostModelParams{}};
+  EXPECT_THROW(
+      attacks::simulate_sustained_monitoring(config, 0, attacks::RetrainPolicy{}, cost_model),
+      std::invalid_argument);
+  attacks::RetrainPolicy bad;
+  bad.check_interval_days = 0;
+  EXPECT_THROW(attacks::simulate_sustained_monitoring(config, 5, bad, cost_model),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ltefp

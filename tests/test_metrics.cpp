@@ -1,0 +1,96 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ltefp::ml {
+namespace {
+
+TEST(ConfusionMatrix, PerfectPrediction) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) cm.add(c, c);
+  }
+  EXPECT_EQ(cm.accuracy(), 1.0);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(cm.precision(c), 1.0);
+    EXPECT_EQ(cm.recall(c), 1.0);
+    EXPECT_EQ(cm.f_score(c), 1.0);
+    EXPECT_EQ(cm.support(c), 10u);
+  }
+  EXPECT_EQ(cm.weighted_f_score(), 1.0);
+}
+
+TEST(ConfusionMatrix, HandComputedExample) {
+  // truth 0: predicted 0 x8, predicted 1 x2
+  // truth 1: predicted 0 x1, predicted 1 x9
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  cm.add(1, 0);
+  for (int i = 0; i < 9; ++i) cm.add(1, 1);
+
+  EXPECT_NEAR(cm.accuracy(), 17.0 / 20.0, 1e-12);
+  EXPECT_NEAR(cm.precision(0), 8.0 / 9.0, 1e-12);
+  EXPECT_NEAR(cm.recall(0), 8.0 / 10.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 9.0 / 11.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 9.0 / 10.0, 1e-12);
+  const double f0 = 2.0 * (8.0 / 9.0) * 0.8 / ((8.0 / 9.0) + 0.8);
+  EXPECT_NEAR(cm.f_score(0), f0, 1e-12);
+  // Weighted metrics use class support (10/10 here -> plain average).
+  EXPECT_NEAR(cm.weighted_recall(), (0.8 + 0.9) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, AbsentClassesAreZeroNotNan) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_EQ(cm.precision(1), 0.0);  // never predicted
+  EXPECT_EQ(cm.recall(2), 0.0);     // never occurred
+  EXPECT_EQ(cm.f_score(1), 0.0);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixSafe) {
+  ConfusionMatrix cm(2);
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.weighted_f_score(), 0.0);
+}
+
+TEST(ConfusionMatrix, OutOfRangeThrows) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(Evaluate, BuildsFromVectors) {
+  const std::vector<int> truth{0, 0, 1, 1, 2};
+  const std::vector<int> pred{0, 1, 1, 1, 2};
+  const ConfusionMatrix cm = evaluate(truth, pred, 3);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_NEAR(cm.accuracy(), 0.8, 1e-12);
+}
+
+TEST(Evaluate, SizeMismatchThrows) {
+  EXPECT_THROW(evaluate({0, 1}, {0}, 2), std::invalid_argument);
+}
+
+TEST(BinaryMetrics, PositiveClassConvention) {
+  const std::vector<int> truth{1, 1, 1, 0, 0, 0};
+  const std::vector<int> pred{1, 1, 0, 1, 0, 0};
+  const BinaryMetrics m = binary_metrics(truth, pred);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.accuracy, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(m.f_score, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  const std::string s = cm.to_string({"neg", "pos"});
+  EXPECT_NE(s.find("neg"), std::string::npos);
+  EXPECT_NE(s.find("pos"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ltefp::ml

@@ -1,0 +1,216 @@
+#include "lte/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lte/operator_profile.hpp"
+
+namespace ltefp::lte {
+namespace {
+
+/// Emits one uplink packet of `bytes` every `period` ms, starting at
+/// `start_after` ms from construction-time first step.
+class TickerSource final : public TrafficSource {
+ public:
+  TickerSource(Direction dir, int bytes, TimeMs period, TimeMs start_after = 0)
+      : dir_(dir), bytes_(bytes), period_(period), start_after_(start_after) {}
+
+  void step(TimeMs now, std::vector<AppPacket>& out) override {
+    if (first_ < 0) first_ = now;
+    const TimeMs rel = now - first_;
+    if (rel >= start_after_ && (rel - start_after_) % period_ == 0) {
+      out.push_back(AppPacket{dir_, bytes_});
+    }
+  }
+  const char* name() const override { return "ticker"; }
+
+ private:
+  Direction dir_;
+  int bytes_;
+  TimeMs period_;
+  TimeMs start_after_;
+  TimeMs first_ = -1;
+};
+
+/// Observer recording everything for assertions.
+class RecordingObserver final : public PdcchObserver {
+ public:
+  void on_subframe(const PdcchSubframe& sf) override {
+    dci_count += sf.dcis.size();
+  }
+  void on_rach(const RachPreamble&) override { ++rach; }
+  void on_rar(const RandomAccessResponse& rar_msg) override {
+    ++rar;
+    last_rnti = rar_msg.assigned_rnti;
+  }
+  void on_rrc_request(const RrcConnectionRequest& req) override {
+    ++requests;
+    last_tmsi = req.s_tmsi;
+  }
+  void on_rrc_setup(const RrcConnectionSetup&) override { ++setups; }
+  void on_rrc_release(const RrcConnectionRelease&) override { ++releases; }
+
+  std::size_t dci_count = 0;
+  int rach = 0, rar = 0, requests = 0, setups = 0, releases = 0;
+  Rnti last_rnti = 0;
+  Tmsi last_tmsi = 0;
+};
+
+OperatorProfile lab() { return operator_profile(Operator::kLab); }
+
+TEST(Simulation, UplinkDataFromIdleTriggersRachAndConnects) {
+  Simulation sim(1);
+  const CellId cell = sim.add_cell(lab());
+  RecordingObserver obs;
+  sim.add_observer(cell, obs);
+
+  const UeId ue = sim.add_ue(9001);
+  sim.camp(ue, cell);
+  sim.set_traffic_source(ue, std::make_unique<TickerSource>(Direction::kUplink, 500, 100));
+  EXPECT_FALSE(sim.is_connected(ue));
+
+  sim.run_for(50);
+  EXPECT_TRUE(sim.is_connected(ue));
+  EXPECT_GE(obs.rach, 1);
+  EXPECT_GE(obs.setups, 1);
+  EXPECT_EQ(obs.last_tmsi, sim.tmsi_of(ue));  // S-TMSI leaked on the air
+  EXPECT_TRUE(sim.current_rnti(ue).has_value());
+}
+
+TEST(Simulation, DownlinkDataFromIdleTriggersPagingThenConnection) {
+  Simulation sim(2);
+  const CellId cell = sim.add_cell(lab());
+  RecordingObserver obs;
+  sim.add_observer(cell, obs);
+
+  const UeId ue = sim.add_ue(9002);
+  sim.camp(ue, cell);
+  sim.set_traffic_source(ue, std::make_unique<TickerSource>(Direction::kDownlink, 800, 1000));
+
+  sim.run_for(100);
+  EXPECT_TRUE(sim.is_connected(ue));
+  // The paging indication itself appears on the PDCCH (P-RNTI DCI).
+  EXPECT_GE(obs.dci_count, 1u);
+}
+
+TEST(Simulation, InactivityDropsToIdleAndReconnectGetsNewRnti) {
+  Simulation sim(3);
+  const CellId cell = sim.add_cell(lab());
+  const UeId ue = sim.add_ue(9003);
+  sim.camp(ue, cell);
+  sim.connect(ue);
+  sim.run_for(50);
+  ASSERT_TRUE(sim.is_connected(ue));
+  const Rnti first = *sim.current_rnti(ue);
+
+  // Silence past the 10 s inactivity timeout drops the connection.
+  sim.run_for(lab().inactivity_timeout + 1000);
+  EXPECT_FALSE(sim.is_connected(ue));
+  EXPECT_FALSE(sim.current_rnti(ue).has_value());
+
+  sim.connect(ue);
+  sim.run_for(50);
+  ASSERT_TRUE(sim.is_connected(ue));
+  EXPECT_NE(*sim.current_rnti(ue), first)
+      << "idle -> connected transition must refresh the RNTI";
+}
+
+TEST(Simulation, HandoverKeepsTmsiChangesRntiAndCell) {
+  Simulation sim(4);
+  const CellId cell_a = sim.add_cell(lab());
+  const CellId cell_b = sim.add_cell(lab());
+  RecordingObserver obs_b;
+  sim.add_observer(cell_b, obs_b);
+
+  const UeId ue = sim.add_ue(9004);
+  const Tmsi tmsi = sim.tmsi_of(ue);
+  sim.camp(ue, cell_a);
+  sim.set_traffic_source(ue, std::make_unique<TickerSource>(Direction::kUplink, 300, 20));
+  sim.run_for(100);
+  ASSERT_TRUE(sim.is_connected(ue));
+  const Rnti rnti_a = *sim.current_rnti(ue);
+
+  sim.move(ue, cell_b);
+  sim.run_for(50);
+  EXPECT_TRUE(sim.is_connected(ue));
+  EXPECT_EQ(sim.camped_cell(ue), cell_b);
+  EXPECT_EQ(sim.tmsi_of(ue), tmsi) << "TMSI survives the handover";
+  EXPECT_NE(*sim.current_rnti(ue), rnti_a) << "target cell assigns a new C-RNTI";
+  // Contention-free RACH in the target: preamble + RAR but no Msg3.
+  EXPECT_GE(obs_b.rach, 1);
+  EXPECT_EQ(obs_b.requests, 0);
+}
+
+TEST(Simulation, IdleReselectionDoesNotRach) {
+  Simulation sim(5);
+  const CellId cell_a = sim.add_cell(lab());
+  const CellId cell_b = sim.add_cell(lab());
+  RecordingObserver obs_b;
+  sim.add_observer(cell_b, obs_b);
+  const UeId ue = sim.add_ue(9005);
+  sim.camp(ue, cell_a);
+  sim.move(ue, cell_b);  // idle: plain reselection
+  sim.run_for(20);
+  EXPECT_EQ(sim.camped_cell(ue), cell_b);
+  EXPECT_EQ(obs_b.rach, 0);
+}
+
+TEST(Simulation, PendingTrafficDeliveredAfterConnection) {
+  Simulation sim(6);
+  const CellId cell = sim.add_cell(lab());
+  RecordingObserver obs;
+  sim.add_observer(cell, obs);
+  const UeId ue = sim.add_ue(9006);
+  sim.camp(ue, cell);
+  // One-shot burst while idle: must be buffered, then scheduled.
+  sim.set_traffic_source(ue, std::make_unique<TickerSource>(Direction::kUplink, 5'000, 100'000));
+  sim.run_for(60);
+  EXPECT_TRUE(sim.is_connected(ue));
+  EXPECT_GT(obs.dci_count, 0u);
+}
+
+TEST(Simulation, MultipleUesGetDistinctRntis) {
+  Simulation sim(7);
+  const CellId cell = sim.add_cell(lab());
+  std::vector<UeId> ues;
+  for (int i = 0; i < 10; ++i) {
+    const UeId ue = sim.add_ue(9100 + static_cast<Imsi>(i));
+    sim.camp(ue, cell);
+    sim.connect(ue);
+    ues.push_back(ue);
+  }
+  sim.run_for(100);
+  std::set<Rnti> rntis;
+  for (const UeId ue : ues) {
+    ASSERT_TRUE(sim.is_connected(ue));
+    EXPECT_TRUE(rntis.insert(*sim.current_rnti(ue)).second);
+  }
+}
+
+TEST(Simulation, UnknownEntitiesThrow) {
+  Simulation sim(8);
+  EXPECT_THROW(sim.camp(99, 0), std::out_of_range);
+  const UeId ue = sim.add_ue(1);
+  EXPECT_THROW(sim.camp(ue, 5), std::out_of_range);
+  EXPECT_THROW(sim.tmsi_of(1234), std::out_of_range);
+  EXPECT_THROW(sim.cell_profile(3), std::out_of_range);
+}
+
+TEST(Simulation, DeterministicForSameSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    const CellId cell = sim.add_cell(lab());
+    RecordingObserver obs;
+    sim.add_observer(cell, obs);
+    const UeId ue = sim.add_ue(77);
+    sim.camp(ue, cell);
+    sim.set_traffic_source(ue, std::make_unique<TickerSource>(Direction::kUplink, 700, 30));
+    sim.run_for(2000);
+    return obs.dci_count;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+}  // namespace
+}  // namespace ltefp::lte

@@ -1,0 +1,84 @@
+#include "lte/operator_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ltefp::lte {
+namespace {
+
+TEST(OperatorProfile, LabIsControlled) {
+  const OperatorProfile lab = operator_profile(Operator::kLab);
+  EXPECT_EQ(lab.background_ues, 0);
+  EXPECT_EQ(lab.sniffer_miss_rate, 0.0);
+  EXPECT_EQ(lab.scheduler, SchedulerKind::kRoundRobin);
+  EXPECT_EQ(lab.session_load_jitter, 0.0);
+}
+
+TEST(OperatorProfile, CommercialCellsAreNoisy) {
+  for (const Operator op : {Operator::kVerizon, Operator::kAtt, Operator::kTmobile}) {
+    const OperatorProfile p = operator_profile(op);
+    EXPECT_GT(p.background_ues, 0) << to_string(op);
+    EXPECT_GT(p.sniffer_miss_rate, 0.0) << to_string(op);
+    EXPECT_GT(p.channel_volatility_db, 1.0) << to_string(op);
+    EXPECT_EQ(p.scheduler, SchedulerKind::kProportionalFair) << to_string(op);
+    EXPECT_GT(p.session_snr_jitter_db, 1.0) << to_string(op);
+  }
+}
+
+TEST(OperatorProfile, OperatorsDifferInBandwidth) {
+  // Heterogeneous deployments are why the paper trains per carrier.
+  const auto vzw = operator_profile(Operator::kVerizon);
+  const auto att = operator_profile(Operator::kAtt);
+  const auto tmo = operator_profile(Operator::kTmobile);
+  EXPECT_NE(prb_count(vzw.bandwidth), prb_count(tmo.bandwidth));
+  EXPECT_NE(prb_count(att.bandwidth), prb_count(vzw.bandwidth));
+}
+
+TEST(PerturbForSession, DeterministicPerSeed) {
+  const OperatorProfile base = operator_profile(Operator::kVerizon);
+  const OperatorProfile a = perturb_for_session(base, 42);
+  const OperatorProfile b = perturb_for_session(base, 42);
+  EXPECT_EQ(a.mean_snr_db, b.mean_snr_db);
+  EXPECT_EQ(a.background_ues, b.background_ues);
+  const OperatorProfile c = perturb_for_session(base, 43);
+  EXPECT_NE(a.mean_snr_db, c.mean_snr_db);
+}
+
+TEST(PerturbForSession, LabUnaffectedByLoadJitter) {
+  const OperatorProfile base = operator_profile(Operator::kLab);
+  const OperatorProfile perturbed = perturb_for_session(base, 7);
+  EXPECT_EQ(perturbed.background_ues, 0);
+  // SNR jitter is tiny in the Faraday cage.
+  EXPECT_NEAR(perturbed.mean_snr_db, base.mean_snr_db, 2.0);
+}
+
+TEST(PerturbForSession, StaysWithinPhysicalBounds) {
+  const OperatorProfile base = operator_profile(Operator::kAtt);
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    const OperatorProfile p = perturb_for_session(base, seed);
+    ASSERT_GE(p.mean_snr_db, 2.0);
+    ASSERT_LE(p.mean_snr_db, 28.0);
+    ASSERT_GE(p.background_ues, 1);
+    ASSERT_GT(p.background_load_bps, 0.0);
+  }
+}
+
+TEST(Bandwidth, PrbTable) {
+  EXPECT_EQ(prb_count(Bandwidth::kMhz1_4), 6);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz3), 15);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz5), 25);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz10), 50);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz15), 75);
+  EXPECT_EQ(prb_count(Bandwidth::kMhz20), 100);
+}
+
+TEST(Types, DirectionHelpers) {
+  EXPECT_TRUE(direction_passes(LinkFilter::kBoth, Direction::kUplink));
+  EXPECT_TRUE(direction_passes(LinkFilter::kDownlinkOnly, Direction::kDownlink));
+  EXPECT_FALSE(direction_passes(LinkFilter::kDownlinkOnly, Direction::kUplink));
+  EXPECT_FALSE(direction_passes(LinkFilter::kUplinkOnly, Direction::kDownlink));
+  EXPECT_STREQ(to_string(Direction::kDownlink), "DL");
+  EXPECT_STREQ(to_string(Operator::kTmobile), "T-Mobile");
+}
+
+}  // namespace
+}  // namespace ltefp::lte

@@ -1,0 +1,177 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ltefp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // Replaying the parent from the same seed and forking again must give
+  // the same child stream.
+  Rng parent2(7);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child(), child2());
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformRealInHalfOpenRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(4.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(8);
+  for (const double mean : {0.5, 4.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) sum += rng.poisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(8);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(12);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle) {
+  Rng rng(13);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+// Property sweep: every seed yields in-range indices and usable pick().
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, IndexAlwaysInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.index(17), 17u);
+  }
+}
+
+TEST_P(RngSeedSweep, LognormalPositive) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GT(rng.lognormal(3.0, 1.0), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace ltefp

@@ -1,0 +1,122 @@
+#include "lte/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lte/tbs.hpp"
+
+namespace ltefp::lte {
+namespace {
+
+std::vector<SchedCandidate> make_candidates(int n, int buffer, int mcs) {
+  std::vector<SchedCandidate> out;
+  for (int i = 0; i < n; ++i) {
+    SchedCandidate c;
+    c.rnti = static_cast<Rnti>(0x100 + i);
+    c.buffer_bytes = buffer;
+    c.mcs = mcs;
+    c.avg_rate = 1.0;
+    out.push_back(c);
+  }
+  return out;
+}
+
+int total_prbs(const std::vector<SchedDecision>& decisions) {
+  return std::accumulate(decisions.begin(), decisions.end(), 0,
+                         [](int sum, const SchedDecision& d) { return sum + d.nprb; });
+}
+
+class BothSchedulers : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(BothSchedulers, EmptyCandidatesYieldNothing) {
+  auto scheduler = make_scheduler(GetParam());
+  EXPECT_TRUE(scheduler->schedule({}, 50, 50).empty());
+}
+
+TEST_P(BothSchedulers, NeverExceedsPrbBudget) {
+  auto scheduler = make_scheduler(GetParam());
+  const auto candidates = make_candidates(20, 5000, 10);
+  for (int budget : {6, 25, 50, 100}) {
+    const auto decisions = scheduler->schedule(candidates, budget, 100);
+    EXPECT_LE(total_prbs(decisions), budget) << "budget=" << budget;
+  }
+}
+
+TEST_P(BothSchedulers, RespectsPerUeCap) {
+  auto scheduler = make_scheduler(GetParam());
+  const auto candidates = make_candidates(2, 1'000'000, 20);
+  const auto decisions = scheduler->schedule(candidates, 100, 12);
+  ASSERT_FALSE(decisions.empty());
+  for (const auto& d : decisions) {
+    EXPECT_LE(d.nprb, 12);
+  }
+}
+
+TEST_P(BothSchedulers, GrantCoversBufferWhenRoomAvailable) {
+  auto scheduler = make_scheduler(GetParam());
+  const auto candidates = make_candidates(1, 500, 15);
+  const auto decisions = scheduler->schedule(candidates, 100, 100);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_GE(decisions[0].tb_bytes, 500);
+  // Minimal: one PRB fewer would not fit.
+  EXPECT_LT(max_tb_bytes(15, decisions[0].nprb - 1), 500);
+}
+
+TEST_P(BothSchedulers, TbBytesMatchesGrant) {
+  auto scheduler = make_scheduler(GetParam());
+  const auto candidates = make_candidates(5, 3000, 12);
+  for (const auto& d : scheduler->schedule(candidates, 50, 50)) {
+    EXPECT_EQ(d.tb_bytes, max_tb_bytes(d.mcs, d.nprb));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BothSchedulers,
+                         ::testing::Values(SchedulerKind::kRoundRobin,
+                                           SchedulerKind::kProportionalFair));
+
+TEST(RoundRobin, RotatesStartingCandidate) {
+  RoundRobinScheduler scheduler;
+  // Budget fits only one full grant per subframe.
+  auto candidates = make_candidates(3, 4000, 5);
+  std::vector<Rnti> first_served;
+  for (int tti = 0; tti < 3; ++tti) {
+    const auto decisions = scheduler.schedule(candidates, 30, 30);
+    ASSERT_FALSE(decisions.empty());
+    first_served.push_back(decisions.front().rnti);
+  }
+  // Three subframes serve three different heads.
+  EXPECT_NE(first_served[0], first_served[1]);
+  EXPECT_NE(first_served[1], first_served[2]);
+}
+
+TEST(ProportionalFair, PrefersStarvedUe) {
+  ProportionalFairScheduler scheduler;
+  auto candidates = make_candidates(2, 5000, 10);
+  candidates[0].avg_rate = 100.0;  // well served
+  candidates[1].avg_rate = 1.0;    // starved
+  const auto decisions = scheduler.schedule(candidates, 10, 10);
+  ASSERT_FALSE(decisions.empty());
+  EXPECT_EQ(decisions.front().rnti, candidates[1].rnti);
+}
+
+TEST(ProportionalFair, PrefersBetterChannelAtEqualService) {
+  ProportionalFairScheduler scheduler;
+  auto candidates = make_candidates(2, 5000, 5);
+  candidates[1].mcs = 25;  // much better channel
+  const auto decisions = scheduler.schedule(candidates, 10, 10);
+  ASSERT_FALSE(decisions.empty());
+  EXPECT_EQ(decisions.front().rnti, candidates[1].rnti);
+}
+
+TEST(Scheduler, SkipsEmptyBuffers) {
+  RoundRobinScheduler scheduler;
+  auto candidates = make_candidates(3, 0, 10);
+  candidates[1].buffer_bytes = 100;
+  const auto decisions = scheduler.schedule(candidates, 50, 50);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].rnti, candidates[1].rnti);
+}
+
+}  // namespace
+}  // namespace ltefp::lte

@@ -1,0 +1,91 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ltefp {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 4.0, 2.5, -3.0, 8.0, 0.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), offset, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(SpanStats, EmptyInputs) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_EQ(percentile(xs, 0), 10.0);
+  EXPECT_EQ(percentile(xs, 100), 40.0);
+  EXPECT_NEAR(percentile(xs, 50), 25.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 25), 17.5, 1e-12);
+}
+
+TEST(Percentile, UnsortedInputAndClamping) {
+  std::vector<double> xs{30.0, 10.0, 20.0};
+  EXPECT_EQ(percentile(xs, -5), 10.0);
+  EXPECT_EQ(percentile(xs, 200), 30.0);
+  EXPECT_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+  EXPECT_EQ(pearson(ys, xs), 0.0);
+}
+
+TEST(Pearson, ShortInput) {
+  EXPECT_EQ(pearson(std::vector<double>{1.0}, std::vector<double>{2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace ltefp

@@ -1,0 +1,121 @@
+#include "lte/tbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ltefp::lte {
+namespace {
+
+TEST(McsTable, ModulationOrderRegions) {
+  // TS 36.213 Table 7.1.7.1-1: QPSK 0-9, 16QAM 10-16, 64QAM 17-28.
+  for (int mcs = 0; mcs <= 9; ++mcs) EXPECT_EQ(mcs_modulation_order(mcs), 2) << mcs;
+  for (int mcs = 10; mcs <= 16; ++mcs) EXPECT_EQ(mcs_modulation_order(mcs), 4) << mcs;
+  for (int mcs = 17; mcs <= 28; ++mcs) EXPECT_EQ(mcs_modulation_order(mcs), 6) << mcs;
+}
+
+TEST(McsTable, ItbsMappingAnchors) {
+  EXPECT_EQ(mcs_to_itbs(0), 0);
+  EXPECT_EQ(mcs_to_itbs(9), 9);
+  EXPECT_EQ(mcs_to_itbs(10), 9);   // modulation switch repeats I_TBS
+  EXPECT_EQ(mcs_to_itbs(16), 15);
+  EXPECT_EQ(mcs_to_itbs(17), 15);  // second switch
+  EXPECT_EQ(mcs_to_itbs(28), 26);
+}
+
+TEST(McsTable, ItbsMonotoneNonDecreasing) {
+  for (int mcs = 1; mcs < kNumMcs; ++mcs) {
+    EXPECT_GE(mcs_to_itbs(mcs), mcs_to_itbs(mcs - 1)) << mcs;
+  }
+}
+
+TEST(McsTable, OutOfRangeThrows) {
+  EXPECT_THROW(mcs_to_itbs(-1), std::out_of_range);
+  EXPECT_THROW(mcs_to_itbs(29), std::out_of_range);
+  EXPECT_THROW(mcs_modulation_order(29), std::out_of_range);
+}
+
+TEST(Tbs, NormativeAnchors) {
+  // Documented anchor entries of TS 36.213 Table 7.1.7.2.1-1.
+  EXPECT_EQ(transport_block_size_bits(0, 1), 16);
+  EXPECT_EQ(transport_block_size_bits(26, 110), 75376);
+}
+
+TEST(Tbs, ByteAligned) {
+  for (int itbs = 0; itbs < kNumItbs; ++itbs) {
+    for (int nprb = 1; nprb <= kMaxPrb; nprb += 7) {
+      EXPECT_EQ(transport_block_size_bits(itbs, nprb) % 8, 0);
+    }
+  }
+}
+
+// Property sweep: monotone in both arguments, everywhere.
+class TbsMonotoneInPrb : public ::testing::TestWithParam<int> {};
+
+TEST_P(TbsMonotoneInPrb, NonDecreasingInPrb) {
+  const int itbs = GetParam();
+  int prev = transport_block_size_bits(itbs, 1);
+  EXPECT_GE(prev, 16);
+  for (int nprb = 2; nprb <= kMaxPrb; ++nprb) {
+    const int tbs = transport_block_size_bits(itbs, nprb);
+    ASSERT_GE(tbs, prev) << "itbs=" << itbs << " nprb=" << nprb;
+    prev = tbs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllItbs, TbsMonotoneInPrb, ::testing::Range(0, kNumItbs));
+
+class TbsMonotoneInItbs : public ::testing::TestWithParam<int> {};
+
+TEST_P(TbsMonotoneInItbs, NonDecreasingInItbs) {
+  const int nprb = GetParam();
+  int prev = transport_block_size_bits(0, nprb);
+  for (int itbs = 1; itbs < kNumItbs; ++itbs) {
+    const int tbs = transport_block_size_bits(itbs, nprb);
+    ASSERT_GE(tbs, prev) << "itbs=" << itbs << " nprb=" << nprb;
+    prev = tbs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrbSweep, TbsMonotoneInItbs,
+                         ::testing::Values(1, 2, 6, 15, 25, 50, 75, 100, 110));
+
+TEST(Tbs, OutOfRangeThrows) {
+  EXPECT_THROW(transport_block_size_bits(-1, 1), std::out_of_range);
+  EXPECT_THROW(transport_block_size_bits(kNumItbs, 1), std::out_of_range);
+  EXPECT_THROW(transport_block_size_bits(0, 0), std::out_of_range);
+  EXPECT_THROW(transport_block_size_bits(0, kMaxPrb + 1), std::out_of_range);
+}
+
+TEST(Tbs, BytesIsBitsOverEight) {
+  EXPECT_EQ(transport_block_size_bytes(10, 20), transport_block_size_bits(10, 20) / 8);
+}
+
+TEST(PrbsNeeded, ReturnsMinimalSufficientAllocation) {
+  for (const int mcs : {0, 5, 13, 20, 28}) {
+    for (const int bytes : {1, 50, 300, 1200, 5000}) {
+      const int nprb = prbs_needed(mcs, bytes, kMaxPrb);
+      ASSERT_GE(nprb, 1);
+      if (max_tb_bytes(mcs, kMaxPrb) >= bytes) {
+        EXPECT_GE(max_tb_bytes(mcs, nprb), bytes) << "mcs=" << mcs << " bytes=" << bytes;
+        if (nprb > 1) {
+          EXPECT_LT(max_tb_bytes(mcs, nprb - 1), bytes)
+              << "not minimal: mcs=" << mcs << " bytes=" << bytes;
+        }
+      }
+    }
+  }
+}
+
+TEST(PrbsNeeded, CapsAtLimitWhenBufferHuge) {
+  EXPECT_EQ(prbs_needed(0, 1'000'000, 50), 50);
+  EXPECT_EQ(prbs_needed(28, 1'000'000, 100), 100);
+}
+
+TEST(PrbsNeeded, InvalidBytesThrows) {
+  EXPECT_THROW(prbs_needed(5, 0, 50), std::invalid_argument);
+  EXPECT_THROW(prbs_needed(5, -3, 50), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ltefp::lte

@@ -1,0 +1,83 @@
+#include "sniffer/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ltefp::sniffer {
+namespace {
+
+Trace sample_trace() {
+  return Trace{
+      {0, 0x100, lte::Direction::kDownlink, 500, 1},
+      {150, 0x100, lte::Direction::kUplink, 60, 1},
+      {1100, 0x100, lte::Direction::kDownlink, 900, 1},
+      {2500, 0x200, lte::Direction::kUplink, 120, 1},
+      {2999, 0x100, lte::Direction::kDownlink, 300, 1},
+  };
+}
+
+TEST(Trace, FilterDirection) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(filter_direction(t, lte::LinkFilter::kBoth).size(), 5u);
+  const Trace dl = filter_direction(t, lte::LinkFilter::kDownlinkOnly);
+  ASSERT_EQ(dl.size(), 3u);
+  for (const auto& r : dl) EXPECT_EQ(r.direction, lte::Direction::kDownlink);
+  const Trace ul = filter_direction(t, lte::LinkFilter::kUplinkOnly);
+  ASSERT_EQ(ul.size(), 2u);
+  for (const auto& r : ul) EXPECT_EQ(r.direction, lte::Direction::kUplink);
+}
+
+TEST(Trace, SliceTimeHalfOpen) {
+  const Trace t = sample_trace();
+  const Trace mid = slice_time(t, 150, 2500);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0].time, 150);
+  EXPECT_EQ(mid[1].time, 1100);
+}
+
+TEST(Trace, TotalBytes) {
+  EXPECT_EQ(total_bytes(sample_trace()), 500 + 60 + 900 + 120 + 300);
+  EXPECT_EQ(total_bytes({}), 0);
+}
+
+TEST(Trace, FramesPerBin) {
+  const auto bins = frames_per_bin(sample_trace(), 0, 1000, 3);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0], 2.0);  // t=0, t=150
+  EXPECT_EQ(bins[1], 1.0);  // t=1100
+  EXPECT_EQ(bins[2], 2.0);  // t=2500, t=2999
+}
+
+TEST(Trace, BytesPerBinRespectsOriginAndOverflow) {
+  const auto bins = bytes_per_bin(sample_trace(), 1000, 1000, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0], 900.0);   // t=1100
+  EXPECT_EQ(bins[1], 420.0);   // t=2500 + t=2999
+  // Records before origin and past the last bin are dropped silently.
+}
+
+TEST(Trace, PerBinRejectsBadBinSize) {
+  EXPECT_THROW(frames_per_bin(sample_trace(), 0, 0, 3), std::invalid_argument);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const Trace t = sample_trace();
+  std::ostringstream out;
+  write_csv(out, t);
+  const Trace back = read_csv(out.str());
+  EXPECT_EQ(back, t);
+}
+
+TEST(Trace, CsvRejectsBadDirection) {
+  EXPECT_THROW(read_csv("time_ms,rnti,direction,tb_bytes,cell\n1,2,XX,3,4\n"),
+               std::runtime_error);
+}
+
+TEST(Trace, CsvHeaderOnlyIsEmpty) {
+  EXPECT_TRUE(read_csv("time_ms,rnti,direction,tb_bytes,cell\n").empty());
+  EXPECT_TRUE(read_csv("").empty());
+}
+
+}  // namespace
+}  // namespace ltefp::sniffer

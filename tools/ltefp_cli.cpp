@@ -1,0 +1,250 @@
+// ltefp — command-line front end to the attack framework.
+//
+// Subcommands:
+//   collect   capture one app session's PDCCH trace to CSV
+//   train     build a labeled dataset and train + save the RF model
+//   classify  identify the app behind a captured trace CSV
+//   history   run the multi-zone history attack end to end
+//   correlate score a paired-vs-independent session for two users
+//   info      print operator profiles and app catalogue
+//
+// Examples:
+//   ltefp collect --app YouTube --operator T-Mobile --minutes 2 --out yt.csv
+//   ltefp train --operator Lab --out model.rf
+//   ltefp classify --model model.rf --trace yt.csv
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "attacks/collect.hpp"
+#include "lte/operator_profile.hpp"
+#include "attacks/correlation.hpp"
+#include "attacks/history.hpp"
+#include "attacks/pipeline.hpp"
+#include "common/table.hpp"
+#include "ml/serialize.hpp"
+
+#include <algorithm>
+
+using namespace ltefp;
+
+namespace {
+
+/// Minimal flag parser: --name value pairs after the subcommand.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::runtime_error(std::string("expected --flag, got ") + argv[i]);
+      }
+      values_.emplace_back(argv[i] + 2, argv[i + 1]);
+    }
+  }
+
+  std::optional<std::string> get(const std::string& name) const {
+    for (const auto& [key, value] : values_) {
+      if (key == name) return value;
+    }
+    return std::nullopt;
+  }
+  std::string get_or(const std::string& name, const std::string& fallback) const {
+    return get(name).value_or(fallback);
+  }
+  double number(const std::string& name, double fallback) const {
+    const auto v = get(name);
+    return v ? std::stod(*v) : fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+lte::Operator parse_operator(const std::string& name) {
+  for (const lte::Operator op : {lte::Operator::kLab, lte::Operator::kVerizon,
+                                 lte::Operator::kAtt, lte::Operator::kTmobile}) {
+    if (name == lte::to_string(op)) return op;
+  }
+  throw std::runtime_error("unknown operator '" + name +
+                           "' (use Lab, Verizon, AT&T, or T-Mobile)");
+}
+
+apps::AppId parse_app(const std::string& name) {
+  const auto app = apps::app_from_string(name);
+  if (!app) throw std::runtime_error("unknown app '" + name + "' (see `ltefp info`)");
+  return *app;
+}
+
+int cmd_collect(const Args& args) {
+  attacks::CollectConfig config;
+  config.op = parse_operator(args.get_or("operator", "Lab"));
+  config.duration = minutes(args.number("minutes", 2.0));
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+  const apps::AppId app = parse_app(args.get_or("app", "YouTube"));
+
+  std::fprintf(stderr, "collecting %s on %s for %.1f min...\n", apps::to_string(app),
+               lte::to_string(config.op), static_cast<double>(config.duration) / 60000.0);
+  const attacks::CollectedTrace capture = attacks::collect_trace(app, config);
+
+  const std::string out_path = args.get_or("out", "trace.csv");
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  sniffer::write_csv(out, capture.trace);
+  std::fprintf(stderr, "wrote %zu records (%zu RNTIs) to %s\n", capture.trace.size(),
+               capture.rnti_count, out_path.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  attacks::PipelineConfig config;
+  config.op = parse_operator(args.get_or("operator", "Lab"));
+  config.traces_per_app = static_cast<int>(args.number("traces", 2));
+  config.trace_duration = minutes(args.number("minutes", 1.5));
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 42));
+
+  std::fprintf(stderr, "building dataset (%d traces/app x %d apps on %s)...\n",
+               config.traces_per_app, apps::kNumApps, lte::to_string(config.op));
+  const features::Dataset data = attacks::build_dataset(config);
+  std::fprintf(stderr, "training flat RF on %zu windows...\n", data.size());
+  // The CLI persists a flat 9-way forest (the hierarchical wrapper is an
+  // in-process optimisation; the flat model serialises to one file).
+  ml::RandomForest forest;
+  forest.fit(data);
+
+  const std::string out_path = args.get_or("out", "model.rf");
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+  ml::save_forest(out, forest);
+  std::fprintf(stderr, "saved model to %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  const std::string model_path = args.get_or("model", "model.rf");
+  std::ifstream model_in(model_path);
+  if (!model_in) throw std::runtime_error("cannot read " + model_path);
+  const ml::RandomForest forest = ml::load_forest(model_in);
+
+  const std::string trace_path = args.get_or("trace", "trace.csv");
+  std::ifstream trace_in(trace_path);
+  if (!trace_in) throw std::runtime_error("cannot read " + trace_path);
+  std::stringstream buffer;
+  buffer << trace_in.rdbuf();
+  const sniffer::Trace trace = sniffer::read_csv(buffer.str());
+  if (trace.empty()) throw std::runtime_error("trace is empty");
+
+  features::WindowConfig window;
+  window.window_ms = static_cast<TimeMs>(args.number("window-ms", 100));
+  const auto windows = features::extract_windows(trace, trace.front().time, window);
+
+  std::vector<std::size_t> votes(apps::kNumApps, 0);
+  for (const auto& w : windows) ++votes[static_cast<std::size_t>(forest.predict(w))];
+  const auto winner = static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+  const auto app = static_cast<apps::AppId>(winner);
+  std::printf("%s (%s), %zu/%zu window votes\n", apps::to_string(app),
+              apps::to_string(apps::category_of(app)), votes[winner], windows.size());
+  return 0;
+}
+
+int cmd_history(const Args& args) {
+  attacks::PipelineConfig pipe_config;
+  pipe_config.op = parse_operator(args.get_or("operator", "T-Mobile"));
+  pipe_config.traces_per_app = 2;
+  pipe_config.trace_duration = minutes(args.number("train-minutes", 1.5));
+  pipe_config.seed = static_cast<std::uint64_t>(args.number("seed", 7));
+  std::fprintf(stderr, "training pipeline on %s...\n", lte::to_string(pipe_config.op));
+  attacks::FingerprintPipeline pipeline(pipe_config);
+  pipeline.train(attacks::build_dataset(pipe_config));
+
+  attacks::HistoryConfig config;
+  config.op = pipe_config.op;
+  config.seed = pipe_config.seed + 1;
+  config.itinerary = attacks::HistoryAttack::default_itinerary(config.seed);
+  const TimeMs visit = minutes(args.number("visit-minutes", 1.5));
+  for (auto& v : config.itinerary) v.duration = visit;
+
+  const attacks::HistoryResult result = attacks::HistoryAttack(pipeline).run(config);
+  TextTable table({"Zone", "Start", "Category", "Prediction", "Truth", "Hit"});
+  for (const auto& obs : result.observations) {
+    table.add_row({std::string(1, static_cast<char>('A' + obs.zone)), format_hms(obs.start),
+                   apps::to_string(obs.predicted_category), apps::to_string(obs.predicted_app),
+                   apps::to_string(obs.true_app), obs.correct ? "TRUE" : "FALSE"});
+  }
+  std::printf("%s", table.render("History attack").c_str());
+  std::printf("success rate: %s\n", fmt_pct(result.success_rate).c_str());
+  return 0;
+}
+
+int cmd_correlate(const Args& args) {
+  attacks::CorrelationConfig config;
+  config.op = parse_operator(args.get_or("operator", "Lab"));
+  config.duration = minutes(args.number("minutes", 1.5));
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 11));
+  const apps::AppId app = parse_app(args.get_or("app", "WhatsApp"));
+  const bool paired = args.get_or("paired", "true") == "true";
+
+  const attacks::PairObservation obs = attacks::run_pair_session(app, paired, config);
+  std::printf("app=%s world=%s similarity=%.3f features=[%.3f %.3f %.3f %.3f]\n",
+              apps::to_string(app), paired ? "in-contact" : "independent", obs.similarity,
+              obs.features[0], obs.features[1], obs.features[2], obs.features[3]);
+  return 0;
+}
+
+int cmd_info(const Args&) {
+  TextTable apps_table({"App", "Category"});
+  for (const apps::AppId app : apps::kAllApps) {
+    apps_table.add_row({apps::to_string(app), apps::to_string(apps::category_of(app))});
+  }
+  std::printf("%s", apps_table.render("App catalogue").c_str());
+
+  TextTable op_table({"Operator", "PRBs", "Scheduler", "Load (UEs)", "Miss rate", "BLER"});
+  for (const lte::Operator op : {lte::Operator::kLab, lte::Operator::kVerizon,
+                                 lte::Operator::kAtt, lte::Operator::kTmobile}) {
+    const lte::OperatorProfile p = lte::operator_profile(op);
+    op_table.add_row({lte::to_string(op), std::to_string(lte::prb_count(p.bandwidth)),
+                      p.scheduler == lte::SchedulerKind::kProportionalFair ? "PF" : "RR",
+                      std::to_string(p.background_ues), fmt(p.sniffer_miss_rate),
+                      fmt(p.harq_bler)});
+  }
+  std::printf("%s", op_table.render("Operator profiles").c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ltefp <collect|train|classify|history|correlate|info> [--flag value]...\n"
+               "  collect   --app A --operator O --minutes M --seed S --out F\n"
+               "  train     --operator O --traces N --minutes M --seed S --out F\n"
+               "  classify  --model F --trace F [--window-ms W]\n"
+               "  history   --operator O [--train-minutes M] [--visit-minutes M] [--seed S]\n"
+               "  correlate --app A --operator O --paired true|false [--minutes M] [--seed S]\n"
+               "  info\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "collect") return cmd_collect(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "classify") return cmd_classify(args);
+    if (command == "history") return cmd_history(args);
+    if (command == "correlate") return cmd_correlate(args);
+    if (command == "info") return cmd_info(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ltefp %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
