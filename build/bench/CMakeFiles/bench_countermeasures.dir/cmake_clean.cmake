@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_countermeasures.dir/bench_countermeasures.cpp.o"
+  "CMakeFiles/bench_countermeasures.dir/bench_countermeasures.cpp.o.d"
+  "bench_countermeasures"
+  "bench_countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

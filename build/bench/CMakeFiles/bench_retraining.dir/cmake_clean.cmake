@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retraining.dir/bench_retraining.cpp.o"
+  "CMakeFiles/bench_retraining.dir/bench_retraining.cpp.o.d"
+  "bench_retraining"
+  "bench_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

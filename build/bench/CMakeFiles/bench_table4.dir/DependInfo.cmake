@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4.cpp" "bench/CMakeFiles/bench_table4.dir/bench_table4.cpp.o" "gcc" "bench/CMakeFiles/bench_table4.dir/bench_table4.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/ltefp_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ltefp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ltefp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ltefp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sniffer/CMakeFiles/ltefp_sniffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/ltefp_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/ltefp_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ltefp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

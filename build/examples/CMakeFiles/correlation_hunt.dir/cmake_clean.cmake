@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_hunt.dir/correlation_hunt.cpp.o"
+  "CMakeFiles/correlation_hunt.dir/correlation_hunt.cpp.o.d"
+  "correlation_hunt"
+  "correlation_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

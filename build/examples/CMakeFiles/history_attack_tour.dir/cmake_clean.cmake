@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_attack_tour.dir/history_attack_tour.cpp.o"
+  "CMakeFiles/history_attack_tour.dir/history_attack_tour.cpp.o.d"
+  "history_attack_tour"
+  "history_attack_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_attack_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_cell_monitor.dir/live_cell_monitor.cpp.o"
+  "CMakeFiles/live_cell_monitor.dir/live_cell_monitor.cpp.o.d"
+  "live_cell_monitor"
+  "live_cell_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_cell_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_id.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/app_id.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/app_id.cpp.o.d"
+  "/root/repo/src/apps/background.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/background.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/background.cpp.o.d"
+  "/root/repo/src/apps/conversation.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/conversation.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/conversation.cpp.o.d"
+  "/root/repo/src/apps/drift.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/drift.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/drift.cpp.o.d"
+  "/root/repo/src/apps/factory.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/factory.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/factory.cpp.o.d"
+  "/root/repo/src/apps/messaging.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/messaging.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/messaging.cpp.o.d"
+  "/root/repo/src/apps/params.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/params.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/params.cpp.o.d"
+  "/root/repo/src/apps/streaming.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/streaming.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/streaming.cpp.o.d"
+  "/root/repo/src/apps/voip.cpp" "src/apps/CMakeFiles/ltefp_apps.dir/voip.cpp.o" "gcc" "src/apps/CMakeFiles/ltefp_apps.dir/voip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lte/CMakeFiles/ltefp_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ltefp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp_apps.dir/app_id.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/app_id.cpp.o.d"
+  "CMakeFiles/ltefp_apps.dir/background.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/background.cpp.o.d"
+  "CMakeFiles/ltefp_apps.dir/conversation.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/conversation.cpp.o.d"
+  "CMakeFiles/ltefp_apps.dir/drift.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/drift.cpp.o.d"
+  "CMakeFiles/ltefp_apps.dir/factory.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/factory.cpp.o.d"
+  "CMakeFiles/ltefp_apps.dir/messaging.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/messaging.cpp.o.d"
+  "CMakeFiles/ltefp_apps.dir/params.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/params.cpp.o.d"
+  "CMakeFiles/ltefp_apps.dir/streaming.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/streaming.cpp.o.d"
+  "CMakeFiles/ltefp_apps.dir/voip.cpp.o"
+  "CMakeFiles/ltefp_apps.dir/voip.cpp.o.d"
+  "libltefp_apps.a"
+  "libltefp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp_attacks.dir/collect.cpp.o"
+  "CMakeFiles/ltefp_attacks.dir/collect.cpp.o.d"
+  "CMakeFiles/ltefp_attacks.dir/correlation.cpp.o"
+  "CMakeFiles/ltefp_attacks.dir/correlation.cpp.o.d"
+  "CMakeFiles/ltefp_attacks.dir/cost.cpp.o"
+  "CMakeFiles/ltefp_attacks.dir/cost.cpp.o.d"
+  "CMakeFiles/ltefp_attacks.dir/history.cpp.o"
+  "CMakeFiles/ltefp_attacks.dir/history.cpp.o.d"
+  "CMakeFiles/ltefp_attacks.dir/pipeline.cpp.o"
+  "CMakeFiles/ltefp_attacks.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ltefp_attacks.dir/retrain.cpp.o"
+  "CMakeFiles/ltefp_attacks.dir/retrain.cpp.o.d"
+  "libltefp_attacks.a"
+  "libltefp_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp_common.dir/csv.cpp.o"
+  "CMakeFiles/ltefp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ltefp_common.dir/log.cpp.o"
+  "CMakeFiles/ltefp_common.dir/log.cpp.o.d"
+  "CMakeFiles/ltefp_common.dir/rng.cpp.o"
+  "CMakeFiles/ltefp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ltefp_common.dir/sim_time.cpp.o"
+  "CMakeFiles/ltefp_common.dir/sim_time.cpp.o.d"
+  "CMakeFiles/ltefp_common.dir/stats.cpp.o"
+  "CMakeFiles/ltefp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ltefp_common.dir/table.cpp.o"
+  "CMakeFiles/ltefp_common.dir/table.cpp.o.d"
+  "libltefp_common.a"
+  "libltefp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp_dtw.dir/dtw.cpp.o"
+  "CMakeFiles/ltefp_dtw.dir/dtw.cpp.o.d"
+  "libltefp_dtw.a"
+  "libltefp_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp_features.dir/dataset.cpp.o"
+  "CMakeFiles/ltefp_features.dir/dataset.cpp.o.d"
+  "CMakeFiles/ltefp_features.dir/window.cpp.o"
+  "CMakeFiles/ltefp_features.dir/window.cpp.o.d"
+  "libltefp_features.a"
+  "libltefp_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lte/channel.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/channel.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/channel.cpp.o.d"
+  "/root/repo/src/lte/countermeasures.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/countermeasures.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/countermeasures.cpp.o.d"
+  "/root/repo/src/lte/crc.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/crc.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/crc.cpp.o.d"
+  "/root/repo/src/lte/dci.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/dci.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/dci.cpp.o.d"
+  "/root/repo/src/lte/enb.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/enb.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/enb.cpp.o.d"
+  "/root/repo/src/lte/epc.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/epc.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/epc.cpp.o.d"
+  "/root/repo/src/lte/network.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/network.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/network.cpp.o.d"
+  "/root/repo/src/lte/operator_profile.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/operator_profile.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/operator_profile.cpp.o.d"
+  "/root/repo/src/lte/rnti.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/rnti.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/rnti.cpp.o.d"
+  "/root/repo/src/lte/scheduler.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/scheduler.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/scheduler.cpp.o.d"
+  "/root/repo/src/lte/tbs.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/tbs.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/tbs.cpp.o.d"
+  "/root/repo/src/lte/types.cpp" "src/lte/CMakeFiles/ltefp_lte.dir/types.cpp.o" "gcc" "src/lte/CMakeFiles/ltefp_lte.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ltefp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

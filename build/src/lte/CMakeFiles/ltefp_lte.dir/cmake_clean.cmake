@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp_lte.dir/channel.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/channel.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/countermeasures.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/countermeasures.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/crc.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/crc.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/dci.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/dci.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/enb.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/enb.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/epc.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/epc.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/network.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/network.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/operator_profile.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/operator_profile.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/rnti.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/rnti.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/scheduler.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/tbs.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/tbs.cpp.o.d"
+  "CMakeFiles/ltefp_lte.dir/types.cpp.o"
+  "CMakeFiles/ltefp_lte.dir/types.cpp.o.d"
+  "libltefp_lte.a"
+  "libltefp_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

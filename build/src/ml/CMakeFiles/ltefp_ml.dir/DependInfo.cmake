@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/cnn.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/cnn.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/cnn.cpp.o.d"
+  "/root/repo/src/ml/crossval.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/crossval.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/crossval.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/hierarchical.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/hierarchical.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/ml/importance.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/importance.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/importance.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/logreg.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/logreg.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/logreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/ltefp_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/ltefp_ml.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/ltefp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ltefp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sniffer/CMakeFiles/ltefp_sniffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/ltefp_lte.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

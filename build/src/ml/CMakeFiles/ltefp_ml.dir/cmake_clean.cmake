@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp_ml.dir/classifier.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/cnn.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/cnn.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/crossval.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/crossval.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/hierarchical.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/importance.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/importance.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/knn.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/logreg.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/logreg.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/metrics.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/ltefp_ml.dir/serialize.cpp.o"
+  "CMakeFiles/ltefp_ml.dir/serialize.cpp.o.d"
+  "libltefp_ml.a"
+  "libltefp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libltefp_ml.a"
+)

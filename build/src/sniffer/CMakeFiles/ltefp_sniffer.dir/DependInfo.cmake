@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sniffer/identity_map.cpp" "src/sniffer/CMakeFiles/ltefp_sniffer.dir/identity_map.cpp.o" "gcc" "src/sniffer/CMakeFiles/ltefp_sniffer.dir/identity_map.cpp.o.d"
+  "/root/repo/src/sniffer/sniffer.cpp" "src/sniffer/CMakeFiles/ltefp_sniffer.dir/sniffer.cpp.o" "gcc" "src/sniffer/CMakeFiles/ltefp_sniffer.dir/sniffer.cpp.o.d"
+  "/root/repo/src/sniffer/trace.cpp" "src/sniffer/CMakeFiles/ltefp_sniffer.dir/trace.cpp.o" "gcc" "src/sniffer/CMakeFiles/ltefp_sniffer.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lte/CMakeFiles/ltefp_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ltefp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp_sniffer.dir/identity_map.cpp.o"
+  "CMakeFiles/ltefp_sniffer.dir/identity_map.cpp.o.d"
+  "CMakeFiles/ltefp_sniffer.dir/sniffer.cpp.o"
+  "CMakeFiles/ltefp_sniffer.dir/sniffer.cpp.o.d"
+  "CMakeFiles/ltefp_sniffer.dir/trace.cpp.o"
+  "CMakeFiles/ltefp_sniffer.dir/trace.cpp.o.d"
+  "libltefp_sniffer.a"
+  "libltefp_sniffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

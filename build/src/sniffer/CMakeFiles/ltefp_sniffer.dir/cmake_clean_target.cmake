@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libltefp_sniffer.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_countermeasures.dir/test_countermeasures.cpp.o"
+  "CMakeFiles/test_countermeasures.dir/test_countermeasures.cpp.o.d"
+  "test_countermeasures"
+  "test_countermeasures.pdb"
+  "test_countermeasures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

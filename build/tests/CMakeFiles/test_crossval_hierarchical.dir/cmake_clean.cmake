@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossval_hierarchical.dir/test_crossval_hierarchical.cpp.o"
+  "CMakeFiles/test_crossval_hierarchical.dir/test_crossval_hierarchical.cpp.o.d"
+  "test_crossval_hierarchical"
+  "test_crossval_hierarchical.pdb"
+  "test_crossval_hierarchical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossval_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

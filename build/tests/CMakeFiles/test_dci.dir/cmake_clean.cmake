@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dci.dir/test_dci.cpp.o"
+  "CMakeFiles/test_dci.dir/test_dci.cpp.o.d"
+  "test_dci"
+  "test_dci.pdb"
+  "test_dci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

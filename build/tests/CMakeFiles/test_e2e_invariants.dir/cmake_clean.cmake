@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_invariants.dir/test_e2e_invariants.cpp.o"
+  "CMakeFiles/test_e2e_invariants.dir/test_e2e_invariants.cpp.o.d"
+  "test_e2e_invariants"
+  "test_e2e_invariants.pdb"
+  "test_e2e_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enb.dir/test_enb.cpp.o"
+  "CMakeFiles/test_enb.dir/test_enb.cpp.o.d"
+  "test_enb"
+  "test_enb.pdb"
+  "test_enb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

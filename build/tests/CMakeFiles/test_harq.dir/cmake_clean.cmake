@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harq.dir/test_harq.cpp.o"
+  "CMakeFiles/test_harq.dir/test_harq.cpp.o.d"
+  "test_harq"
+  "test_harq.pdb"
+  "test_harq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_identity_map.dir/test_identity_map.cpp.o"
+  "CMakeFiles/test_identity_map.dir/test_identity_map.cpp.o.d"
+  "test_identity_map"
+  "test_identity_map.pdb"
+  "test_identity_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_identity_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

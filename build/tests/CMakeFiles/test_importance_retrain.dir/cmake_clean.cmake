@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_importance_retrain.dir/test_importance_retrain.cpp.o"
+  "CMakeFiles/test_importance_retrain.dir/test_importance_retrain.cpp.o.d"
+  "test_importance_retrain"
+  "test_importance_retrain.pdb"
+  "test_importance_retrain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_importance_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operator_profile.dir/test_operator_profile.cpp.o"
+  "CMakeFiles/test_operator_profile.dir/test_operator_profile.cpp.o.d"
+  "test_operator_profile"
+  "test_operator_profile.pdb"
+  "test_operator_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operator_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

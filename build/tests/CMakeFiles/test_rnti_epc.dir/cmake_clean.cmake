@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rnti_epc.dir/test_rnti_epc.cpp.o"
+  "CMakeFiles/test_rnti_epc.dir/test_rnti_epc.cpp.o.d"
+  "test_rnti_epc"
+  "test_rnti_epc.pdb"
+  "test_rnti_epc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rnti_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sniffer.dir/test_sniffer.cpp.o"
+  "CMakeFiles/test_sniffer.dir/test_sniffer.cpp.o.d"
+  "test_sniffer"
+  "test_sniffer.pdb"
+  "test_sniffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_csv_table[1]_include.cmake")
+include("/root/repo/build/tests/test_crc[1]_include.cmake")
+include("/root/repo/build/tests/test_tbs[1]_include.cmake")
+include("/root/repo/build/tests/test_dci[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_rnti_epc[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_enb[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_identity_map[1]_include.cmake")
+include("/root/repo/build/tests/test_sniffer[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_classifiers[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_crossval_hierarchical[1]_include.cmake")
+include("/root/repo/build/tests/test_dtw[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_countermeasures[1]_include.cmake")
+include("/root/repo/build/tests/test_importance_retrain[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_operator_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_harq[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_invariants[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltefp.dir/ltefp_cli.cpp.o"
+  "CMakeFiles/ltefp.dir/ltefp_cli.cpp.o.d"
+  "ltefp"
+  "ltefp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltefp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
