@@ -6,6 +6,8 @@
 // (one subframe budget on the air is 1 ms).
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "attacks/collect.hpp"
 #include "common/rng.hpp"
 #include "dtw/dtw.hpp"
@@ -18,6 +20,8 @@
 #include "ml/logreg.hpp"
 #include "ml/random_forest.hpp"
 #include "sniffer/sniffer.hpp"
+#include "tracestore/reader.hpp"
+#include "tracestore/writer.hpp"
 
 using namespace ltefp;
 
@@ -111,6 +115,79 @@ void BM_WindowExtraction(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20'000);
 }
 BENCHMARK(BM_WindowExtraction);
+
+sniffer::Trace synthetic_trace(std::size_t n, Rng& rng) {
+  sniffer::Trace trace;
+  trace.reserve(n);
+  TimeMs t = 0;
+  // A victim cycles through a few RNTIs; sizes span chat frames to video
+  // bursts — the shape the tracestore's delta/dictionary coding targets.
+  std::vector<lte::Rnti> rntis;
+  for (int i = 0; i < 6; ++i) {
+    rntis.push_back(static_cast<lte::Rnti>(rng.uniform_int(lte::kMinCRnti, lte::kMaxCRnti)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.uniform_int(1, 40);
+    trace.push_back(sniffer::TraceRecord{
+        t, rng.pick(rntis), rng.bernoulli(0.5) ? lte::Direction::kDownlink : lte::Direction::kUplink,
+        static_cast<int>(rng.uniform_int(16, 3000)), 1});
+  }
+  return trace;
+}
+
+void BM_TraceStoreWrite(benchmark::State& state) {
+  Rng rng(17);
+  const auto trace = synthetic_trace(static_cast<std::size_t>(state.range(0)), rng);
+  tracestore::TraceMeta meta;
+  meta.label = "bench";
+  std::size_t binary_bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    binary_bytes = tracestore::write_trace(out, meta, trace);
+    benchmark::DoNotOptimize(out);
+  }
+  std::ostringstream csv;
+  sniffer::write_csv(csv, trace);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.counters["bytes_per_record"] =
+      static_cast<double>(binary_bytes) / static_cast<double>(trace.size());
+  state.counters["csv_size_ratio"] =
+      static_cast<double>(csv.str().size()) / static_cast<double>(binary_bytes);
+}
+BENCHMARK(BM_TraceStoreWrite)->Arg(20'000);
+
+void BM_TraceStoreRead(benchmark::State& state) {
+  Rng rng(17);
+  const auto trace = synthetic_trace(static_cast<std::size_t>(state.range(0)), rng);
+  tracestore::TraceMeta meta;
+  meta.label = "bench";
+  std::ostringstream out;
+  tracestore::write_trace(out, meta, trace);
+  const std::string image = out.str();
+  for (auto _ : state) {
+    std::istringstream in(image);
+    benchmark::DoNotOptimize(tracestore::read_trace(in));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(image.size()));
+}
+BENCHMARK(BM_TraceStoreRead)->Arg(20'000);
+
+void BM_TraceCsvRead(benchmark::State& state) {
+  Rng rng(17);
+  const auto trace = synthetic_trace(static_cast<std::size_t>(state.range(0)), rng);
+  std::ostringstream out;
+  sniffer::write_csv(out, trace);
+  const std::string text = out.str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sniffer::read_csv(text));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_TraceCsvRead)->Arg(20'000);
 
 void BM_Dtw(benchmark::State& state) {
   Rng rng(5);

@@ -37,4 +37,13 @@ inline Scale scale_for(bool quick) {
   return Scale{3, minutes(4), 10, minutes(3)};
 }
 
+/// Value of `--name value` on the command line, or "" when absent. Used by
+/// the corpus-backed bench variants (`--corpus DIR`).
+inline std::string flag_value(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == name) return argv[i + 1];
+  }
+  return {};
+}
+
 }  // namespace ltefp::bench

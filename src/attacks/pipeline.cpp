@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "attacks/replay.hpp"
 #include "common/rng.hpp"
 
 namespace ltefp::attacks {
@@ -29,7 +30,7 @@ features::Dataset dataset_from_traces(std::span<const CollectedTrace> traces,
   return data;
 }
 
-features::Dataset build_dataset(const PipelineConfig& config) {
+std::vector<CollectedTrace> collect_all_traces(const PipelineConfig& config) {
   CollectConfig collect;
   collect.op = config.op;
   collect.duration = config.trace_duration;
@@ -45,6 +46,13 @@ features::Dataset build_dataset(const PipelineConfig& config) {
     auto app_traces = collect_traces(app, config.traces_per_app, collect);
     for (auto& t : app_traces) traces.push_back(std::move(t));
   }
+  return traces;
+}
+
+features::Dataset build_dataset(const PipelineConfig& config) {
+  const std::vector<CollectedTrace> traces = config.replay_corpus.empty()
+                                                 ? collect_all_traces(config)
+                                                 : load_corpus(config.replay_corpus);
   features::WindowConfig window;
   window.window_ms = config.window_ms;
   window.link = config.link;

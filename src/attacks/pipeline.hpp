@@ -34,13 +34,23 @@ struct PipelineConfig {
   int session_day_range = -1;
   int background_apps = 0;
   ml::ForestConfig forest;         // defaults: 100 trees, seed 1
+  /// When non-empty, build_dataset() replays sessions from this tracestore
+  /// corpus directory (see attacks/replay.hpp) instead of simulating —
+  /// bit-identical datasets and metrics, no re-collection cost.
+  std::string replay_corpus;
 };
 
 /// Builds a labeled dataset (label = AppId index) from collected traces.
 features::Dataset dataset_from_traces(std::span<const CollectedTrace> traces,
                                       const features::WindowConfig& window);
 
-/// Collects traces for all nine apps and windows them into a dataset.
+/// Runs the collection campaign for all nine apps (kAllApps order, then
+/// per-app session index) — the canonical session order that corpus
+/// recording and replay both preserve.
+std::vector<CollectedTrace> collect_all_traces(const PipelineConfig& config);
+
+/// Collects (or, with `replay_corpus` set, replays) traces for all nine
+/// apps and windows them into a dataset.
 features::Dataset build_dataset(const PipelineConfig& config);
 
 /// Per-trace classification outcome (used by the history attack).

@@ -1,6 +1,8 @@
 #include "sniffer/trace.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdint>
 #include <ostream>
 #include <stdexcept>
 
@@ -71,25 +73,57 @@ void write_csv(std::ostream& out, const Trace& trace) {
   }
 }
 
+namespace {
+
+/// Strict integer field parse: the whole cell must be a number in
+/// [lo, hi]. std::stoll-style prefix parsing ("12abc" -> 12) silently
+/// turned malformed captures into garbage records; reject instead.
+long long parse_field(const std::string& cell, const char* field, std::size_t row, long long lo,
+                      long long hi) {
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    throw std::runtime_error("trace csv row " + std::to_string(row) + ": field '" + field +
+                             "' is not an integer: '" + cell + "'");
+  }
+  if (value < lo || value > hi) {
+    throw std::runtime_error("trace csv row " + std::to_string(row) + ": field '" + field +
+                             "' value " + cell + " out of range [" + std::to_string(lo) + ", " +
+                             std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+}  // namespace
+
 Trace read_csv(const std::string& text) {
   const auto rows = parse_csv(text);
   if (rows.empty()) return {};
+  const std::vector<std::string> expected = {"time_ms", "rnti", "direction", "tb_bytes", "cell"};
+  if (rows[0] != expected) {
+    throw std::runtime_error(
+        "trace csv: unexpected header (want \"time_ms,rnti,direction,tb_bytes,cell\")");
+  }
   Trace trace;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     const auto& row = rows[i];
-    if (row.size() < 5) throw std::runtime_error("trace csv: short row");
+    if (row.size() != 5) {
+      throw std::runtime_error("trace csv row " + std::to_string(i) + ": expected 5 columns, got " +
+                               std::to_string(row.size()));
+    }
     TraceRecord r;
-    r.time = std::stoll(row[0]);
-    r.rnti = static_cast<lte::Rnti>(std::stoul(row[1]));
+    r.time = parse_field(row[0], "time_ms", i, INT64_MIN, INT64_MAX);
+    r.rnti = static_cast<lte::Rnti>(parse_field(row[1], "rnti", i, 0, 0xFFFF));
     if (row[2] == "DL") {
       r.direction = lte::Direction::kDownlink;
     } else if (row[2] == "UL") {
       r.direction = lte::Direction::kUplink;
     } else {
-      throw std::runtime_error("trace csv: bad direction " + row[2]);
+      throw std::runtime_error("trace csv row " + std::to_string(i) + ": bad direction '" +
+                               row[2] + "' (want DL or UL)");
     }
-    r.tb_bytes = std::stoi(row[3]);
-    r.cell = static_cast<lte::CellId>(std::stoul(row[4]));
+    r.tb_bytes = static_cast<int>(parse_field(row[3], "tb_bytes", i, INT32_MIN, INT32_MAX));
+    r.cell = static_cast<lte::CellId>(parse_field(row[4], "cell", i, 0, 0xFFFF));
     trace.push_back(r);
   }
   return trace;

@@ -1,0 +1,189 @@
+#include "tracestore/corpus.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "tracestore/reader.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ltefp::tracestore {
+namespace {
+
+constexpr const char* kManifestName = "manifest.csv";
+
+const std::vector<std::string> kManifestHeader = {
+    "seq", "file", "op", "app", "label", "day", "seed", "cell",
+    "session_start_ms", "records", "bytes"};
+
+std::uint64_t parse_u64(const std::string& cell, const char* field, std::size_t row) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    throw TraceStoreError("manifest row " + std::to_string(row) + ": field '" + field +
+                          "' is not a number: '" + cell + "'");
+  }
+  return value;
+}
+
+std::int64_t parse_i64(const std::string& cell, const char* field, std::size_t row) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    throw TraceStoreError("manifest row " + std::to_string(row) + ": field '" + field +
+                          "' is not a number: '" + cell + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+bool CorpusFilter::matches(const TraceMeta& meta) const {
+  if (app && *app != meta.app) return false;
+  if (op && *op != meta.op) return false;
+  if (day_min && meta.day < *day_min) return false;
+  if (day_max && meta.day > *day_max) return false;
+  return true;
+}
+
+CorpusWriter::CorpusWriter(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    throw TraceStoreError("corpus: cannot create directory " + directory_ + ": " + ec.message());
+  }
+}
+
+CorpusWriter::~CorpusWriter() {
+  // Best effort: an exception here would mask the original error; an
+  // unfinished corpus is simply invisible to Corpus::open.
+  try {
+    finish();
+  } catch (...) {
+  }
+}
+
+const CorpusEntry& CorpusWriter::add(const TraceMeta& meta, const sniffer::Trace& trace) {
+  if (finished_) throw TraceStoreError("corpus: add() after finish()");
+  CorpusEntry entry;
+  entry.seq = entries_.size();
+  char name[32];
+  std::snprintf(name, sizeof(name), "trace_%06zu.ltt", entry.seq);
+  entry.file = name;
+  entry.meta = meta;
+  entry.records = trace.size();
+
+  const fs::path path = fs::path(directory_) / entry.file;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw TraceStoreError("corpus: cannot write " + path.string());
+  entry.bytes = write_trace(out, meta, trace);
+  if (!out) throw TraceStoreError("corpus: write failed for " + path.string());
+
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+void CorpusWriter::finish() {
+  if (finished_) return;
+  const fs::path path = fs::path(directory_) / kManifestName;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw TraceStoreError("corpus: cannot write " + path.string());
+  CsvWriter csv(out);
+  csv.write_row(kManifestHeader);
+  for (const auto& e : entries_) {
+    csv.write_row({std::to_string(e.seq), e.file,
+                   std::to_string(static_cast<int>(e.meta.op)), std::to_string(e.meta.app),
+                   e.meta.label, std::to_string(e.meta.day), std::to_string(e.meta.seed),
+                   std::to_string(e.meta.cell), std::to_string(e.meta.session_start),
+                   std::to_string(e.records), std::to_string(e.bytes)});
+  }
+  out.flush();
+  if (!out) throw TraceStoreError("corpus: manifest write failed for " + path.string());
+  finished_ = true;
+}
+
+std::size_t CorpusWriter::total_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& e : entries_) sum += e.bytes;
+  return sum;
+}
+
+bool Corpus::exists(const std::string& directory) {
+  std::error_code ec;
+  return fs::is_regular_file(fs::path(directory) / kManifestName, ec);
+}
+
+Corpus Corpus::open(const std::string& directory) {
+  const fs::path path = fs::path(directory) / kManifestName;
+  std::ifstream in(path);
+  if (!in) throw TraceStoreError("corpus: no manifest at " + path.string());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = parse_csv(buffer.str());
+  if (rows.empty() || rows[0] != kManifestHeader) {
+    throw TraceStoreError("corpus: malformed manifest header in " + path.string());
+  }
+
+  Corpus corpus;
+  corpus.directory_ = directory;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != kManifestHeader.size()) {
+      throw TraceStoreError("corpus: manifest row " + std::to_string(i) + " has " +
+                            std::to_string(row.size()) + " fields, expected " +
+                            std::to_string(kManifestHeader.size()));
+    }
+    CorpusEntry e;
+    e.seq = parse_u64(row[0], "seq", i);
+    e.file = row[1];
+    const std::uint64_t op = parse_u64(row[2], "op", i);
+    if (op > static_cast<std::uint64_t>(lte::Operator::kTmobile)) {
+      throw TraceStoreError("corpus: manifest row " + std::to_string(i) +
+                            ": unknown operator code " + row[2]);
+    }
+    e.meta.op = static_cast<lte::Operator>(op);
+    e.meta.app = static_cast<std::uint16_t>(parse_u64(row[3], "app", i));
+    e.meta.label = row[4];
+    e.meta.day = static_cast<std::int32_t>(parse_i64(row[5], "day", i));
+    e.meta.seed = parse_u64(row[6], "seed", i);
+    e.meta.cell = static_cast<lte::CellId>(parse_u64(row[7], "cell", i));
+    e.meta.session_start = parse_i64(row[8], "session_start_ms", i);
+    e.records = parse_u64(row[9], "records", i);
+    e.bytes = parse_u64(row[10], "bytes", i);
+    corpus.entries_.push_back(std::move(e));
+  }
+  return corpus;
+}
+
+std::vector<CorpusEntry> Corpus::select(const CorpusFilter& filter) const {
+  std::vector<CorpusEntry> out;
+  for (const auto& e : entries_) {
+    if (filter.matches(e.meta)) out.push_back(e);
+  }
+  return out;
+}
+
+sniffer::Trace Corpus::load(const CorpusEntry& entry) const {
+  const fs::path path = fs::path(directory_) / entry.file;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceStoreError("corpus: cannot open " + path.string());
+  Reader reader(in);
+  if (reader.meta() != entry.meta) {
+    throw TraceStoreError("corpus: " + entry.file +
+                          ": embedded metadata disagrees with manifest row " +
+                          std::to_string(entry.seq));
+  }
+  sniffer::Trace trace = reader.read_all();
+  if (trace.size() != entry.records) {
+    throw TraceStoreError("corpus: " + entry.file + ": manifest declares " +
+                          std::to_string(entry.records) + " records, file holds " +
+                          std::to_string(trace.size()));
+  }
+  return trace;
+}
+
+}  // namespace ltefp::tracestore

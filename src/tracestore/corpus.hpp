@@ -1,0 +1,91 @@
+// Directory-level trace corpus: many .ltt files plus a manifest index.
+//
+// The manifest (manifest.csv) mirrors each trace's metadata — app code,
+// label, operator, day, seed, cell, session start, record/byte counts —
+// so experiments filter and schedule loads WITHOUT decoding any trace
+// file. This is the capture-once/replay-many layer: `attacks::` spills
+// collected sessions here and the pipeline replays them bit-identically
+// instead of re-running the radio simulation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sniffer/trace.hpp"
+#include "tracestore/format.hpp"
+#include "tracestore/writer.hpp"
+
+namespace ltefp::tracestore {
+
+/// One manifest row: a trace file and its capture metadata.
+struct CorpusEntry {
+  std::size_t seq = 0;       // insertion order; replay iterates in seq order
+  std::string file;          // filename relative to the corpus directory
+  TraceMeta meta;
+  std::size_t records = 0;
+  std::size_t bytes = 0;     // encoded size of the trace file
+};
+
+/// Metadata predicate for filtered loading. Unset fields match anything.
+struct CorpusFilter {
+  std::optional<std::uint16_t> app;
+  std::optional<lte::Operator> op;
+  std::optional<std::int32_t> day_min;
+  std::optional<std::int32_t> day_max;
+
+  bool matches(const TraceMeta& meta) const;
+};
+
+/// Appends traces to a corpus directory (created if absent) and writes the
+/// manifest on finish(). An unfinished corpus has no manifest, so readers
+/// treat it as absent — interrupted captures are never half-visible.
+class CorpusWriter {
+ public:
+  explicit CorpusWriter(std::string directory);
+  ~CorpusWriter();
+
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+
+  /// Writes one trace file and records its manifest row.
+  const CorpusEntry& add(const TraceMeta& meta, const sniffer::Trace& trace);
+
+  /// Writes manifest.csv. Idempotent.
+  void finish();
+
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  std::size_t total_bytes() const;
+
+ private:
+  std::string directory_;
+  std::vector<CorpusEntry> entries_;
+  bool finished_ = false;
+};
+
+/// Read-only view of a finished corpus.
+class Corpus {
+ public:
+  /// True when `directory` holds a corpus manifest.
+  static bool exists(const std::string& directory);
+
+  /// Parses the manifest; throws TraceStoreError when absent or malformed.
+  static Corpus open(const std::string& directory);
+
+  const std::string& directory() const { return directory_; }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+  /// Entries matching `filter`, in seq order — metadata only, no decoding.
+  std::vector<CorpusEntry> select(const CorpusFilter& filter) const;
+
+  /// Decodes one entry's trace file, verifying CRC framing and that the
+  /// file's embedded metadata matches the manifest row.
+  sniffer::Trace load(const CorpusEntry& entry) const;
+
+ private:
+  std::string directory_;
+  std::vector<CorpusEntry> entries_;
+};
+
+}  // namespace ltefp::tracestore

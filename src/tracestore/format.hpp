@@ -1,0 +1,65 @@
+// Binary DCI trace format ("LTT" files) — the capture-once/replay-many
+// substrate for every experiment in the repo.
+//
+// A trace file is a 5-byte header followed by CRC-framed chunks:
+//
+//   file   := magic "LTT1" | version u8 | chunk*
+//   chunk  := kind u8 | payload_len varint | payload | crc16(payload) LE
+//
+// Chunk kinds: 'M' metadata (exactly once, first), 'R' records (0+),
+// 'E' end-of-trace (exactly once, last; payload = total record count).
+// The CRC-16 is the same CCITT polynomial the PDCCH attaches to DCIs
+// (`lte::crc16`) — fitting, since the payloads are decoded DCIs.
+//
+// Records are delta/dictionary compressed (see writer.hpp); integers use
+// LEB128 varints with zigzag for signed values. A missing 'E' chunk means
+// the file was truncated mid-capture; a CRC mismatch means corruption.
+// Readers must reject both with a diagnostic, never a partial trace.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/sim_time.hpp"
+#include "lte/types.hpp"
+
+namespace ltefp::tracestore {
+
+/// File magic: "LTT1" (LTefp Trace, family 1).
+inline constexpr char kMagic[4] = {'L', 'T', 'T', '1'};
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+/// Chunk kinds.
+inline constexpr std::uint8_t kChunkMeta = 'M';
+inline constexpr std::uint8_t kChunkRecords = 'R';
+inline constexpr std::uint8_t kChunkEnd = 'E';
+
+/// Upper bound on a single chunk's payload, so a corrupted length varint
+/// cannot trigger a multi-gigabyte allocation before the CRC check.
+inline constexpr std::uint64_t kMaxChunkPayload = 1ULL << 26;  // 64 MiB
+
+/// Any structural problem with a trace file: bad magic, unsupported
+/// version, framing error, CRC mismatch, truncation, overlong varint.
+class TraceStoreError : public std::runtime_error {
+ public:
+  explicit TraceStoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-trace capture metadata, persisted in the 'M' chunk and mirrored in
+/// the corpus manifest so experiments can filter without decoding files.
+/// `app` is an opaque numeric code (the attack layer stores apps::AppId);
+/// `label` is its human-readable name.
+struct TraceMeta {
+  lte::Operator op = lte::Operator::kLab;
+  std::uint16_t app = 0;
+  std::string label;
+  std::int32_t day = 0;
+  std::uint64_t seed = 0;
+  lte::CellId cell = 0;
+  TimeMs session_start = 0;
+
+  bool operator==(const TraceMeta&) const = default;
+};
+
+}  // namespace ltefp::tracestore

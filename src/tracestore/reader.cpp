@@ -1,0 +1,225 @@
+#include "tracestore/reader.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <string>
+
+#include "lte/crc.hpp"
+#include "tracestore/varint.hpp"
+
+namespace ltefp::tracestore {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw TraceStoreError("trace file: " + what); }
+
+}  // namespace
+
+struct Reader::Impl {
+  explicit Impl(std::istream& in) : in(in) {}
+
+  std::istream& in;
+  std::size_t chunk_index = 0;   // 0 = metadata chunk
+  bool saw_end = false;
+
+  // Decoded-but-undelivered records of the current 'R' chunk.
+  std::vector<sniffer::TraceRecord> pending;
+  std::size_t pending_pos = 0;
+
+  // Cross-chunk decompression state (mirrors Writer).
+  TimeMs prev_time = 0;
+  lte::CellId prev_cell = 0;
+  std::vector<lte::Rnti> rnti_dict;
+
+  /// Reads one byte; returns false on clean EOF (only legal between chunks).
+  bool get_byte(std::uint8_t& byte) {
+    const int c = in.get();
+    if (c == std::istream::traits_type::eof()) return false;
+    byte = static_cast<std::uint8_t>(c);
+    return true;
+  }
+
+  std::uint8_t require_byte(const char* what) {
+    std::uint8_t byte = 0;
+    if (!get_byte(byte)) fail(std::string("truncated ") + what);
+    return byte;
+  }
+
+  std::uint64_t read_frame_varint(const char* what) {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      const std::uint8_t byte = require_byte(what);
+      if (shift == 63 && (byte & 0x7E) != 0) fail(std::string(what) + ": varint overflow");
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        if (byte == 0 && shift > 0) fail(std::string(what) + ": overlong varint");
+        return value;
+      }
+      shift += 7;
+      if (shift > 63) fail(std::string(what) + ": varint longer than 10 bytes");
+    }
+  }
+
+  /// Reads and CRC-verifies the next chunk. Returns false on clean EOF.
+  bool read_chunk(std::uint8_t& kind, std::vector<std::uint8_t>& payload) {
+    if (!get_byte(kind)) return false;
+    const std::string where = "chunk " + std::to_string(chunk_index);
+    const std::uint64_t len = read_frame_varint("chunk length");
+    if (len > kMaxChunkPayload) {
+      fail(where + ": implausible payload length " + std::to_string(len));
+    }
+    payload.resize(len);
+    if (len > 0) {
+      in.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(len));
+      if (static_cast<std::uint64_t>(in.gcount()) != len) {
+        fail(where + ": truncated payload (expected " + std::to_string(len) + " bytes, got " +
+             std::to_string(in.gcount()) + ")");
+      }
+    }
+    const std::uint8_t lo = require_byte("chunk CRC");
+    const std::uint8_t hi = require_byte("chunk CRC");
+    const std::uint16_t stored = static_cast<std::uint16_t>(lo | (hi << 8));
+    const std::uint16_t computed = lte::crc16(payload);
+    if (stored != computed) {
+      fail(where + ": CRC mismatch (stored " + std::to_string(stored) + ", computed " +
+           std::to_string(computed) + ")");
+    }
+    ++chunk_index;
+    return true;
+  }
+
+  void decode_records(std::span<const std::uint8_t> payload) {
+    ByteReader r(payload, "records chunk " + std::to_string(chunk_index - 1));
+    const std::uint64_t count = r.get_varint();
+    if (count == 0) r.fail("empty records chunk");
+    // Each record encodes to at least 4 bytes; a count claiming more is a
+    // corrupted varint and must not drive the reserve() below.
+    if (count > payload.size()) r.fail("record count " + std::to_string(count) +
+                                       " exceeds chunk payload size");
+    pending.clear();
+    pending.reserve(count);
+    pending_pos = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sniffer::TraceRecord rec;
+      rec.time = prev_time + r.get_signed();
+      prev_time = rec.time;
+
+      const std::uint64_t rnti_code = r.get_varint();
+      if (rnti_code < rnti_dict.size()) {
+        rec.rnti = rnti_dict[rnti_code];
+      } else if (rnti_code == rnti_dict.size()) {
+        const std::uint64_t raw = r.get_varint();
+        if (raw > 0xFFFF) r.fail("RNTI value " + std::to_string(raw) + " out of range");
+        rec.rnti = static_cast<lte::Rnti>(raw);
+        rnti_dict.push_back(rec.rnti);
+      } else {
+        r.fail("RNTI dictionary index " + std::to_string(rnti_code) + " out of range (dict size " +
+               std::to_string(rnti_dict.size()) + ")");
+      }
+
+      const std::uint64_t tb_dir = r.get_varint();
+      rec.direction = (tb_dir & 1) ? lte::Direction::kUplink : lte::Direction::kDownlink;
+      const std::int64_t tb = zigzag_decode(tb_dir >> 1);
+      if (tb < INT32_MIN || tb > INT32_MAX) r.fail("TBS out of int range");
+      rec.tb_bytes = static_cast<int>(tb);
+
+      const std::int64_t cell = static_cast<std::int64_t>(prev_cell) + r.get_signed();
+      if (cell < 0 || cell > 0xFFFF) r.fail("cell id " + std::to_string(cell) + " out of range");
+      rec.cell = static_cast<lte::CellId>(cell);
+      prev_cell = rec.cell;
+
+      pending.push_back(rec);
+    }
+    if (!r.at_end()) {
+      r.fail(std::to_string(r.remaining()) + " trailing bytes after last record");
+    }
+  }
+};
+
+Reader::Reader(std::istream& in) : impl_(std::make_unique<Impl>(in)) {
+  char magic[sizeof(kMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      !std::equal(std::begin(magic), std::end(magic), std::begin(kMagic))) {
+    fail("bad magic (not an LTT trace file)");
+  }
+  const std::uint8_t version = impl_->require_byte("version byte");
+  if (version != kFormatVersion) {
+    fail("unsupported format version " + std::to_string(version) + " (supported: " +
+         std::to_string(kFormatVersion) + ")");
+  }
+
+  std::uint8_t kind = 0;
+  std::vector<std::uint8_t> payload;
+  if (!impl_->read_chunk(kind, payload)) fail("missing metadata chunk");
+  if (kind != kChunkMeta) fail("first chunk must be metadata");
+  ByteReader r(payload, "metadata chunk");
+  const std::uint8_t op = r.get_u8();
+  if (op > static_cast<std::uint8_t>(lte::Operator::kTmobile)) {
+    r.fail("unknown operator code " + std::to_string(op));
+  }
+  meta_.op = static_cast<lte::Operator>(op);
+  const std::uint64_t app = r.get_varint();
+  if (app > 0xFFFF) r.fail("app code out of range");
+  meta_.app = static_cast<std::uint16_t>(app);
+  meta_.day = static_cast<std::int32_t>(r.get_signed());
+  meta_.seed = r.get_varint();
+  const std::uint64_t cell = r.get_varint();
+  if (cell > 0xFFFF) r.fail("cell id out of range");
+  meta_.cell = static_cast<lte::CellId>(cell);
+  meta_.session_start = r.get_signed();
+  meta_.label = r.get_string();
+  if (!r.at_end()) r.fail("trailing bytes");
+}
+
+Reader::~Reader() = default;
+
+bool Reader::next(sniffer::TraceRecord& record) {
+  Impl& im = *impl_;
+  while (im.pending_pos >= im.pending.size()) {
+    if (im.saw_end) return false;
+    std::uint8_t kind = 0;
+    std::vector<std::uint8_t> payload;
+    if (!im.read_chunk(kind, payload)) {
+      fail("missing end chunk (file truncated after " + std::to_string(records_read_) +
+           " records)");
+    }
+    if (kind == kChunkRecords) {
+      im.decode_records(payload);
+    } else if (kind == kChunkEnd) {
+      ByteReader r(payload, "end chunk");
+      const std::uint64_t declared = r.get_varint();
+      if (!r.at_end()) r.fail("trailing bytes");
+      if (declared != records_read_) {
+        fail("record count mismatch (end chunk declares " + std::to_string(declared) +
+             ", decoded " + std::to_string(records_read_) + ")");
+      }
+      std::uint8_t extra = 0;
+      if (im.get_byte(extra)) fail("trailing data after end chunk");
+      im.saw_end = true;
+      return false;
+    } else if (kind == kChunkMeta) {
+      fail("duplicate metadata chunk");
+    } else {
+      fail("unknown chunk kind " + std::to_string(kind));
+    }
+  }
+  record = im.pending[im.pending_pos++];
+  ++records_read_;
+  return true;
+}
+
+sniffer::Trace Reader::read_all() {
+  sniffer::Trace trace;
+  sniffer::TraceRecord record;
+  while (next(record)) trace.push_back(record);
+  return trace;
+}
+
+sniffer::Trace read_trace(std::istream& in, TraceMeta* meta) {
+  Reader reader(in);
+  if (meta != nullptr) *meta = reader.meta();
+  return reader.read_all();
+}
+
+}  // namespace ltefp::tracestore

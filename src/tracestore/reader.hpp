@@ -1,0 +1,53 @@
+// Streaming binary trace reader — the strict counterpart of Writer.
+//
+// Validation contract (the acceptance criterion for the format): a file
+// that is truncated, bit-flipped, or structurally malformed is rejected
+// with a TraceStoreError naming the problem (bad magic, CRC mismatch at
+// chunk N, truncated chunk, missing end marker, record-count mismatch...).
+// A Reader never returns a silently partial trace: records only become
+// visible after their chunk's CRC has verified, and read_all() only
+// succeeds once the 'E' chunk confirmed the total count and EOF followed.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "sniffer/trace.hpp"
+#include "tracestore/format.hpp"
+
+namespace ltefp::tracestore {
+
+class Reader {
+ public:
+  /// Reads and validates the header and metadata chunk.
+  explicit Reader(std::istream& in);
+  ~Reader();
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  const TraceMeta& meta() const { return meta_; }
+
+  /// Streams the next record; false at a clean end of trace. Throws
+  /// TraceStoreError on any integrity problem.
+  bool next(sniffer::TraceRecord& record);
+
+  /// Remaining records as one Trace (all-or-nothing).
+  sniffer::Trace read_all();
+
+  /// Records yielded so far.
+  std::size_t records_read() const { return records_read_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  TraceMeta meta_;
+  std::size_t records_read_ = 0;
+};
+
+/// Convenience: open, fully read and validate one trace file image.
+sniffer::Trace read_trace(std::istream& in, TraceMeta* meta = nullptr);
+
+}  // namespace ltefp::tracestore

@@ -1,0 +1,117 @@
+// LEB128 varint byte-buffer codec used by the tracestore chunks.
+//
+// Unsigned values are little-endian base-128 with a continuation bit;
+// signed values are zigzag-folded first so small negatives stay small.
+// The reader is fully bounds-checked and rejects overlong encodings —
+// every decode failure throws TraceStoreError rather than reading garbage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tracestore/format.hpp"
+
+namespace ltefp::tracestore {
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Appends encoded values to a byte buffer (one per chunk payload).
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_signed(std::int64_t v) { put_varint(zigzag_encode(v)); }
+
+  void put_string(const std::string& s) {
+    put_varint(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  void append(std::span<const std::uint8_t> raw) {
+    bytes_.insert(bytes_.end(), raw.begin(), raw.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+  void clear() { bytes_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Decodes values from a chunk payload; throws TraceStoreError (with
+/// `context` in the message) on any out-of-bounds or malformed read.
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::uint8_t> bytes, std::string context)
+      : bytes_(bytes), context_(std::move(context)) {}
+
+  std::uint8_t get_u8() {
+    require(1, "byte");
+    return bytes_[pos_++];
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      require(1, "varint");
+      const std::uint8_t byte = bytes_[pos_++];
+      if (shift == 63 && (byte & 0x7E) != 0) fail("varint overflows 64 bits");
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        if (byte == 0 && shift > 0) fail("overlong varint encoding");
+        return value;
+      }
+      shift += 7;
+      if (shift > 63) fail("varint longer than 10 bytes");
+    }
+  }
+
+  std::int64_t get_signed() { return zigzag_decode(get_varint()); }
+
+  std::string get_string() {
+    const std::uint64_t len = get_varint();
+    require(len, "string body");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  bool at_end() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw TraceStoreError(context_ + ": " + what);
+  }
+
+ private:
+  void require(std::uint64_t n, const char* what) const {
+    if (n > bytes_.size() - pos_) {
+      fail(std::string("truncated ") + what + " (need " + std::to_string(n) + " bytes, have " +
+           std::to_string(bytes_.size() - pos_) + ")");
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace ltefp::tracestore

@@ -1,0 +1,102 @@
+#include "tracestore/writer.hpp"
+
+#include <ostream>
+
+#include "lte/crc.hpp"
+
+namespace ltefp::tracestore {
+namespace {
+
+ByteWriter encode_meta(const TraceMeta& meta) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(meta.op));
+  w.put_varint(meta.app);
+  w.put_signed(meta.day);
+  w.put_varint(meta.seed);
+  w.put_varint(meta.cell);
+  w.put_signed(meta.session_start);
+  w.put_string(meta.label);
+  return w;
+}
+
+}  // namespace
+
+Writer::Writer(std::ostream& out, const TraceMeta& meta, WriterOptions options)
+    : out_(out), options_(options) {
+  if (options_.records_per_chunk == 0) options_.records_per_chunk = 1;
+  out_.write(kMagic, sizeof(kMagic));
+  out_.put(static_cast<char>(kFormatVersion));
+  bytes_written_ += sizeof(kMagic) + 1;
+  write_chunk(kChunkMeta, encode_meta(meta));
+}
+
+void Writer::add(const sniffer::TraceRecord& record) {
+  if (closed_) throw TraceStoreError("Writer::add: writer already closed");
+  chunk_.put_signed(record.time - prev_time_);
+  prev_time_ = record.time;
+
+  const auto [it, inserted] =
+      rnti_dict_.try_emplace(record.rnti, static_cast<std::uint32_t>(rnti_dict_.size()));
+  if (inserted) {
+    // Index == current dictionary size signals "new entry, value follows".
+    chunk_.put_varint(rnti_dict_.size() - 1);
+    chunk_.put_varint(record.rnti);
+  } else {
+    chunk_.put_varint(it->second);
+  }
+
+  chunk_.put_varint((zigzag_encode(record.tb_bytes) << 1) |
+                    static_cast<std::uint64_t>(record.direction));
+  chunk_.put_signed(static_cast<std::int64_t>(record.cell) -
+                    static_cast<std::int64_t>(prev_cell_));
+  prev_cell_ = record.cell;
+
+  ++chunk_records_;
+  ++total_records_;
+  if (chunk_records_ >= options_.records_per_chunk) flush_chunk();
+}
+
+void Writer::flush_chunk() {
+  if (chunk_records_ == 0) return;
+  ByteWriter payload;
+  payload.put_varint(chunk_records_);
+  payload.append(chunk_.bytes());
+  write_chunk(kChunkRecords, payload);
+  chunk_.clear();
+  chunk_records_ = 0;
+}
+
+void Writer::close() {
+  if (closed_) return;
+  flush_chunk();
+  ByteWriter end;
+  end.put_varint(total_records_);
+  write_chunk(kChunkEnd, end);
+  closed_ = true;
+  out_.flush();
+}
+
+void Writer::write_chunk(std::uint8_t kind, const ByteWriter& payload) {
+  ByteWriter frame;
+  frame.put_u8(kind);
+  frame.put_varint(payload.size());
+  out_.write(reinterpret_cast<const char*>(frame.bytes().data()),
+             static_cast<std::streamsize>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(payload.bytes().data()),
+             static_cast<std::streamsize>(payload.size()));
+  const std::uint16_t crc = lte::crc16(payload.bytes());
+  const char crc_le[2] = {static_cast<char>(crc & 0xFF), static_cast<char>(crc >> 8)};
+  out_.write(crc_le, 2);
+  bytes_written_ += frame.size() + payload.size() + 2;
+  if (!out_) throw TraceStoreError("trace write failed (stream error)");
+}
+
+std::size_t write_trace(std::ostream& out, const TraceMeta& meta, const sniffer::Trace& trace,
+                        WriterOptions options) {
+  Writer writer(out, meta, options);
+  for (const auto& r : trace) writer.add(r);
+  writer.close();
+  return writer.bytes_written();
+}
+
+}  // namespace ltefp::tracestore

@@ -1,0 +1,72 @@
+// Streaming binary trace writer.
+//
+// Record compression, chosen for the shape of DCI traces:
+//  - timestamps are near-monotone → zigzag delta vs the previous record;
+//  - one victim uses a handful of RNTIs → per-trace dictionary, indices
+//    instead of 16-bit values (a new RNTI is appended inline on first use);
+//  - the cell rarely changes → zigzag delta vs the previous record's cell;
+//  - TBS and direction share one varint: (zigzag(tb_bytes) << 1) | dir.
+// Dictionary and delta state persist across chunks; chunks exist only for
+// framing/CRC granularity, so a flipped bit is localised to one chunk's
+// diagnostic instead of poisoning the whole file.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <unordered_map>
+
+#include "sniffer/trace.hpp"
+#include "tracestore/format.hpp"
+#include "tracestore/varint.hpp"
+
+namespace ltefp::tracestore {
+
+struct WriterOptions {
+  /// Records buffered per 'R' chunk before it is framed and flushed.
+  std::size_t records_per_chunk = 4096;
+};
+
+class Writer {
+ public:
+  /// Writes the header and metadata chunk immediately.
+  Writer(std::ostream& out, const TraceMeta& meta, WriterOptions options = {});
+
+  /// close() must be called to emit the end chunk; a destroyed-but-unclosed
+  /// Writer leaves a file that readers reject as truncated (by design).
+  ~Writer() = default;
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void add(const sniffer::TraceRecord& record);
+
+  /// Flushes buffered records and writes the 'E' chunk. Idempotent.
+  void close();
+
+  std::size_t records_written() const { return total_records_; }
+  /// Bytes emitted so far (header + framed chunks).
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void flush_chunk();
+  void write_chunk(std::uint8_t kind, const ByteWriter& payload);
+
+  std::ostream& out_;
+  WriterOptions options_;
+  ByteWriter chunk_;
+  std::size_t chunk_records_ = 0;
+  std::size_t total_records_ = 0;
+  std::size_t bytes_written_ = 0;
+  bool closed_ = false;
+
+  // Cross-chunk compression state.
+  TimeMs prev_time_ = 0;
+  lte::CellId prev_cell_ = 0;
+  std::unordered_map<lte::Rnti, std::uint32_t> rnti_dict_;
+};
+
+/// One-shot convenience: header + records + end chunk. Returns bytes written.
+std::size_t write_trace(std::ostream& out, const TraceMeta& meta, const sniffer::Trace& trace,
+                        WriterOptions options = {});
+
+}  // namespace ltefp::tracestore

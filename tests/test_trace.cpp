@@ -79,5 +79,44 @@ TEST(Trace, CsvHeaderOnlyIsEmpty) {
   EXPECT_TRUE(read_csv("").empty());
 }
 
+constexpr const char* kHeader = "time_ms,rnti,direction,tb_bytes,cell\n";
+
+TEST(Trace, CsvRejectsWrongColumnCount) {
+  // Short row (dropped field) and long row (stray comma) both fail loudly.
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1,2,DL,3\n"), std::runtime_error);
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1,2,DL,3,4,5\n"), std::runtime_error);
+}
+
+TEST(Trace, CsvRejectsNonNumericFields) {
+  // stoll-style prefix parsing used to turn "12abc" into 12 silently; every
+  // numeric field must now consume its whole cell.
+  EXPECT_THROW(read_csv(std::string(kHeader) + "12abc,2,DL,3,4\n"), std::runtime_error);
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1,x,DL,3,4\n"), std::runtime_error);
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1,2,DL,3.5,4\n"), std::runtime_error);
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1,2,DL,3,\n"), std::runtime_error);
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1, 2,DL,3,4\n"), std::runtime_error);
+}
+
+TEST(Trace, CsvRejectsOutOfRangeFields) {
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1,65536,DL,3,4\n"), std::runtime_error);
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1,-2,DL,3,4\n"), std::runtime_error);
+  EXPECT_THROW(read_csv(std::string(kHeader) + "1,2,DL,3,70000\n"), std::runtime_error);
+}
+
+TEST(Trace, CsvRejectsForeignHeader) {
+  EXPECT_THROW(read_csv("a,b,c,d,e\n1,2,DL,3,4\n"), std::runtime_error);
+}
+
+TEST(Trace, CsvErrorsNameRowAndField) {
+  try {
+    read_csv(std::string(kHeader) + "1,2,DL,3,4\n1,2,DL,oops,4\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("tb_bytes"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace ltefp::sniffer

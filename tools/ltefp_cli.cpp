@@ -2,6 +2,9 @@
 //
 // Subcommands:
 //   collect   capture one app session's PDCCH trace to CSV
+//   record    capture a full training corpus to a binary tracestore dir
+//   replay    run the fingerprinting experiment from a recorded corpus
+//   inspect   summarise a corpus manifest or verify one .ltt trace file
 //   train     build a labeled dataset and train + save the RF model
 //   classify  identify the app behind a captured trace CSV
 //   history   run the multi-zone history attack end to end
@@ -10,6 +13,9 @@
 //
 // Examples:
 //   ltefp collect --app YouTube --operator T-Mobile --minutes 2 --out yt.csv
+//   ltefp record --operator Lab --traces 3 --minutes 2 --out corpus/
+//   ltefp replay --corpus corpus/
+//   ltefp inspect --corpus corpus/
 //   ltefp train --operator Lab --out model.rf
 //   ltefp classify --model model.rf --trace yt.csv
 #include <cstdio>
@@ -24,8 +30,11 @@
 #include "attacks/correlation.hpp"
 #include "attacks/history.hpp"
 #include "attacks/pipeline.hpp"
+#include "attacks/replay.hpp"
 #include "common/table.hpp"
 #include "ml/serialize.hpp"
+#include "tracestore/corpus.hpp"
+#include "tracestore/reader.hpp"
 
 #include <algorithm>
 
@@ -95,6 +104,85 @@ int cmd_collect(const Args& args) {
   sniffer::write_csv(out, capture.trace);
   std::fprintf(stderr, "wrote %zu records (%zu RNTIs) to %s\n", capture.trace.size(),
                capture.rnti_count, out_path.c_str());
+  return 0;
+}
+
+int cmd_record(const Args& args) {
+  attacks::PipelineConfig config;
+  config.op = parse_operator(args.get_or("operator", "Lab"));
+  config.traces_per_app = static_cast<int>(args.number("traces", 2));
+  config.trace_duration = minutes(args.number("minutes", 1.5));
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 42));
+  config.day = static_cast<int>(args.number("day", 0));
+  const std::string dir = args.get_or("out", "corpus");
+
+  std::fprintf(stderr, "recording %d traces/app x %d apps on %s to %s...\n",
+               config.traces_per_app, apps::kNumApps, lte::to_string(config.op), dir.c_str());
+  const attacks::RecordResult result = attacks::record_corpus(config, dir);
+  std::fprintf(stderr, "wrote %zu traces, %zu records, %zu bytes (CSV equivalent %zu bytes, "
+               "ratio %.2fx smaller)\n",
+               result.traces, result.records, result.corpus_bytes, result.csv_bytes,
+               result.corpus_bytes > 0
+                   ? static_cast<double>(result.csv_bytes) / static_cast<double>(result.corpus_bytes)
+                   : 0.0);
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  attacks::PipelineConfig config;
+  config.replay_corpus = args.get_or("corpus", "corpus");
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 42));
+  if (!tracestore::Corpus::exists(config.replay_corpus)) {
+    throw std::runtime_error("no corpus manifest in " + config.replay_corpus +
+                             " (run `ltefp record` first)");
+  }
+  std::fprintf(stderr, "replaying corpus %s through the fingerprinting pipeline...\n",
+               config.replay_corpus.c_str());
+  const auto scores = attacks::run_fingerprint_experiment(config);
+  TextTable table({"Category", "Mobile App", "F-score", "Precision", "Recall"});
+  for (const auto& s : scores) {
+    table.add_row({apps::to_string(apps::category_of(s.app)), apps::to_string(s.app),
+                   fmt(s.f_score), fmt(s.precision), fmt(s.recall)});
+  }
+  std::printf("%s", table.render("Replay classification (corpus-backed)").c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (const auto trace_path = args.get("trace")) {
+    std::ifstream in(*trace_path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + *trace_path);
+    tracestore::Reader reader(in);
+    const tracestore::TraceMeta& meta = reader.meta();
+    const sniffer::Trace trace = reader.read_all();  // full CRC/framing validation
+    std::printf("%s: OK\n", trace_path->c_str());
+    std::printf("  app=%u (%s) operator=%s day=%d seed=%llu cell=%u\n", meta.app,
+                meta.label.c_str(), lte::to_string(meta.op), meta.day,
+                static_cast<unsigned long long>(meta.seed), meta.cell);
+    std::printf("  session_start=%s records=%zu total_bytes=%lld span=%s\n",
+                format_hms(meta.session_start).c_str(), trace.size(), sniffer::total_bytes(trace),
+                trace.empty() ? "0:00:00"
+                              : format_hms(trace.back().time - trace.front().time).c_str());
+    return 0;
+  }
+
+  const std::string dir = args.get_or("corpus", "corpus");
+  const tracestore::Corpus corpus = tracestore::Corpus::open(dir);
+  TextTable table({"Seq", "File", "App", "Operator", "Day", "Records", "Bytes", "Start"});
+  std::size_t records = 0, bytes = 0;
+  for (const auto& e : corpus.entries()) {
+    table.add_row({std::to_string(e.seq), e.file, e.meta.label, lte::to_string(e.meta.op),
+                   std::to_string(e.meta.day), std::to_string(e.records),
+                   std::to_string(e.bytes), format_hms(e.meta.session_start)});
+    records += e.records;
+    bytes += e.bytes;
+  }
+  std::printf("%s", table.render("Corpus " + dir).c_str());
+  std::printf("%zu traces, %zu records, %zu bytes\n", corpus.entries().size(), records, bytes);
+  if (args.get_or("verify", "false") == "true") {
+    for (const auto& e : corpus.entries()) corpus.load(e);  // throws on corruption
+    std::printf("integrity: all %zu trace files verified\n", corpus.entries().size());
+  }
   return 0;
 }
 
@@ -216,8 +304,12 @@ int cmd_info(const Args&) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: ltefp <collect|train|classify|history|correlate|info> [--flag value]...\n"
+               "usage: ltefp <collect|record|replay|inspect|train|classify|history|correlate|info>"
+               " [--flag value]...\n"
                "  collect   --app A --operator O --minutes M --seed S --out F\n"
+               "  record    --operator O --traces N --minutes M --seed S --day D --out DIR\n"
+               "  replay    --corpus DIR [--seed S]\n"
+               "  inspect   --corpus DIR [--verify true] | --trace F.ltt\n"
                "  train     --operator O --traces N --minutes M --seed S --out F\n"
                "  classify  --model F --trace F [--window-ms W]\n"
                "  history   --operator O [--train-minutes M] [--visit-minutes M] [--seed S]\n"
@@ -236,6 +328,9 @@ int main(int argc, char** argv) {
   try {
     const Args args(argc, argv, 2);
     if (command == "collect") return cmd_collect(args);
+    if (command == "record") return cmd_record(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "inspect") return cmd_inspect(args);
     if (command == "train") return cmd_train(args);
     if (command == "classify") return cmd_classify(args);
     if (command == "history") return cmd_history(args);
