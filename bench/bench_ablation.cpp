@@ -15,6 +15,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
 
   // One shared pool of raw traces, re-windowed per ablation point.
@@ -85,5 +87,6 @@ int main(int argc, char** argv) {
     std::printf("%s",
                 importance_table.render("Ablation 4 - permutation feature importance").c_str());
   }
+  clock.report("bench_ablation");
   return 0;
 }

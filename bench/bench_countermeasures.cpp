@@ -32,6 +32,8 @@ struct Condition {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bool quick = bench::quick_mode(argc, argv);
   const bench::Scale scale = bench::scale_for(quick);
 
@@ -116,5 +118,6 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render("Countermeasure ablation (Sections VIII-B/C)").c_str());
   std::printf("Padding hides sizes at a radio-overhead cost; re-keying and SUCI starve the\n"
               "attacker of attributable records — matching the paper's qualitative claims.\n");
+  clock.report("bench_countermeasures");
   return 0;
 }

@@ -13,6 +13,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
 
   attacks::PipelineConfig config;
@@ -43,5 +45,6 @@ int main(int argc, char** argv) {
   std::printf("%s",
               table.render("Figure 8 - F-score decay over days since training").c_str());
   std::printf("Paper shape: monotone decay crossing the 70%% retrain threshold near day 7.\n");
+  clock.report("bench_fig8");
   return 0;
 }

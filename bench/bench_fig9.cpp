@@ -17,6 +17,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bool quick = bench::quick_mode(argc, argv);
   const bench::Scale scale = bench::scale_for(quick);
 
@@ -74,5 +76,6 @@ int main(int argc, char** argv) {
               table.render("Figure 9 - F-score vs background-app noise (train: single app)")
                   .c_str());
   std::printf("Paper shape: monotone drop, unusable once noise exceeds ~30K instances.\n");
+  clock.report("bench_fig9");
   return 0;
 }

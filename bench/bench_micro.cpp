@@ -4,11 +4,26 @@
 // "kNN ... may exhibit signs of reduced processing speed" on prediction,
 // RF trains cheaply without a GPU) and the sniffer's real-time headroom
 // (one subframe budget on the air is 1 ms).
+//
+// Extra flags (stripped before google-benchmark sees argv):
+//   --json FILE   append machine-readable results (name, iterations,
+//                 ns/op, bytes/s, threads) as a JSON array to FILE, so the
+//                 perf trajectory is tracked across PRs / thread configs
+//   --threads N   pool size for the *Par benchmarks' parallel stages
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "attacks/collect.hpp"
+#include "attacks/pipeline.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "dtw/dtw.hpp"
 #include "features/window.hpp"
@@ -275,6 +290,179 @@ void BM_CollectTraceLab(benchmark::State& state) {
 }
 BENCHMARK(BM_CollectTraceLab)->Unit(benchmark::kMillisecond);
 
+// --- thread-scaling benchmarks -------------------------------------------
+// Arg pattern {work, threads}: each sets the pool size for its run and
+// restores the session default after, so the ns/op across thread counts is
+// the speedup curve (the outputs themselves are bit-identical by the
+// determinism contract).
+
+int g_default_threads = 0;  // set by main() after flag parsing
+
+class ThreadArg {
+ public:
+  explicit ThreadArg(std::int64_t threads) { set_thread_count(static_cast<int>(threads)); }
+  ~ThreadArg() { set_thread_count(g_default_threads); }
+};
+
+void BM_RandomForestTrainPar(benchmark::State& state) {
+  const ThreadArg threads(state.range(1));
+  Rng rng(3);
+  const auto data = synthetic_dataset(static_cast<std::size_t>(state.range(0)), 3, rng);
+  for (auto _ : state) {
+    ml::RandomForest rf(ml::ForestConfig{.num_trees = 20});
+    rf.fit(data);
+    benchmark::DoNotOptimize(rf.tree_count());
+  }
+  state.counters["threads"] = static_cast<double>(thread_count());
+}
+BENCHMARK(BM_RandomForestTrainPar)
+    ->Args({5000, 1})
+    ->Args({5000, 2})
+    ->Args({5000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DtwMatrixPar(benchmark::State& state) {
+  const ThreadArg threads(state.range(1));
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> series(n);
+  for (auto& s : series) {
+    s.resize(180);
+    for (auto& v : s) v = rng.uniform(0, 50);
+  }
+  dtw::DtwOptions options;
+  options.band = 22;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::similarity_matrix(series, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * (n + 1) / 2));
+  state.counters["threads"] = static_cast<double>(thread_count());
+}
+BENCHMARK(BM_DtwMatrixPar)->Args({24, 1})->Args({24, 2})->Args({24, 4})->Unit(benchmark::kMillisecond);
+
+void BM_BlindDecodeBatchPar(benchmark::State& state) {
+  const ThreadArg threads(state.range(1));
+  Rng rng(7);
+  std::vector<lte::PdcchSubframe> subframes;
+  for (int i = 0; i < 3000; ++i) {
+    auto sf = make_subframe(8, rng);
+    sf.time = i;
+    subframes.push_back(std::move(sf));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sniffer::blind_decode(subframes));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(subframes.size() * 8));
+  state.counters["threads"] = static_cast<double>(thread_count());
+}
+BENCHMARK(BM_BlindDecodeBatchPar)->Args({0, 1})->Args({0, 2})->Args({0, 4});
+
+void BM_CollectTracesPar(benchmark::State& state) {
+  const ThreadArg threads(state.range(1));
+  attacks::CollectConfig config;
+  config.op = lte::Operator::kLab;
+  config.duration = seconds(5);
+  config.seed = 100;
+  const int sessions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::collect_traces(apps::AppId::kSkype, sessions, config));
+  }
+  state.counters["threads"] = static_cast<double>(thread_count());
+  state.counters["sessions"] = sessions;
+}
+BENCHMARK(BM_CollectTracesPar)->Args({4, 1})->Args({4, 2})->Args({4, 4})->Unit(benchmark::kMillisecond);
+
+// --- custom main: --json / --threads + google-benchmark ------------------
+
+/// Console output as usual, plus a machine-readable capture of every run.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.error_occurred || r.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = r.benchmark_name();
+      row.iterations = r.iterations;
+      // real_accumulated_time is seconds over all iterations, independent
+      // of the per-benchmark display unit.
+      row.ns_per_op =
+          r.iterations > 0 ? r.real_accumulated_time / static_cast<double>(r.iterations) * 1e9
+                           : 0.0;
+      const auto bytes = r.counters.find("bytes_per_second");
+      row.bytes_per_s = bytes != r.counters.end() ? bytes->second.value : 0.0;
+      const auto threads = r.counters.find("threads");
+      row.threads = threads != r.counters.end() ? static_cast<int>(threads->second.value)
+                                                : g_default_threads;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  struct Row {
+    std::string name;
+    std::int64_t iterations = 0;
+    double ns_per_op = 0.0;
+    double bytes_per_s = 0.0;
+    int threads = 1;
+  };
+  std::vector<Row> rows;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<CaptureReporter::Row>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "  {\"name\": \"%s\", \"iterations\": %lld, \"ns_per_op\": %.3f, "
+                  "\"bytes_per_s\": %.1f, \"threads\": %d}%s\n",
+                  json_escape(r.name).c_str(), static_cast<long long>(r.iterations),
+                  r.ns_per_op, r.bytes_per_s, r.threads, i + 1 < rows.size() ? "," : "");
+    out << line;
+  }
+  out << "]\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our flags before google-benchmark parses the rest.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      set_thread_count(std::atoi(argv[++i]));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  g_default_threads = thread_count();
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    write_json(json_path, reporter.rows);
+    std::fprintf(stderr, "wrote %zu benchmark rows to %s\n", reporter.rows.size(),
+                 json_path.c_str());
+  }
+  return 0;
+}

@@ -12,6 +12,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bool quick = bench::quick_mode(argc, argv);
 
   attacks::PipelineConfig config;
@@ -48,5 +50,6 @@ int main(int argc, char** argv) {
               "Steady-state upkeep: ~%.1f cost units/day (Eq. 3 amortisation).\n",
               horizon, retrains, cost_params.drift_period_days,
               cost_model.retraining_cost() / cost_params.drift_period_days);
+  clock.report("bench_retraining");
   return 0;
 }

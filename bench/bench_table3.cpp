@@ -15,6 +15,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
 
   TextTable table({"Category", "Mobile App", "Down+Up F", "P", "R", "Down F", "P", "R",
@@ -73,5 +75,6 @@ int main(int argc, char** argv) {
 
   std::printf("%s",
               table.render("Table III - lab-setting classification (Random Forest)").c_str());
+  clock.report("bench_table3");
   return 0;
 }

@@ -14,6 +14,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
 
   TextTable table({"Category", "Mobile App", "Verizon F", "P", "R", "AT&T F", "P", "R",
@@ -50,5 +52,6 @@ int main(int argc, char** argv) {
       "%s",
       table.render("Table IV - real-world classification, downlink only (Random Forest)")
           .c_str());
+  clock.report("bench_table4");
   return 0;
 }

@@ -15,6 +15,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bool quick = bench::quick_mode(argc, argv);
   const bench::Scale scale = bench::scale_for(quick);
 
@@ -52,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render("Table V - history attack").c_str());
   std::printf("Success rate: %s (paper: 83%% over 12 attempts)\n",
               fmt_pct(result.success_rate).c_str());
+  clock.report("bench_table5");
   return 0;
 }

@@ -14,6 +14,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
 
   const apps::AppId kApps[] = {apps::AppId::kFacebookMessenger, apps::AppId::kWhatsApp,
@@ -50,5 +52,6 @@ int main(int argc, char** argv) {
   std::printf("%s",
               table.render("Table VI - DTW similarity scores D(T_w, T_a) of paired traces")
                   .c_str());
+  clock.report("bench_table6");
   return 0;
 }

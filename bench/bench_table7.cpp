@@ -13,6 +13,8 @@
 using namespace ltefp;
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
 
   const apps::AppId kApps[] = {apps::AppId::kFacebookMessenger, apps::AppId::kWhatsApp,
@@ -43,5 +45,6 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render("Table VII - correlation-attack contact classification "
                                  "(logistic regression on DTW similarity)")
                         .c_str());
+  clock.report("bench_table7");
   return 0;
 }

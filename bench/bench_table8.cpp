@@ -40,6 +40,8 @@ features::Dataset to_category_dataset(const features::Dataset& apps_data) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ltefp::bench::configure_threads(argc, argv);
+  const ltefp::bench::WallClock clock;
   const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
 
   // Mixed real-world dataset (the paper mixes per-class app data from its
@@ -86,5 +88,6 @@ int main(int argc, char** argv) {
   std::printf("Parameters: LR C=1; kNN k=%d (CV over 1..10); CNN softmax cross-entropy; "
               "RF 100 trees, seed 1\n",
               best_k);
+  clock.report("bench_table8");
   return 0;
 }

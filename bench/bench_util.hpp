@@ -8,9 +8,12 @@
 // must match is the *shape* of each table, per DESIGN.md.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/parallel.hpp"
 #include "common/sim_time.hpp"
 
 namespace ltefp::bench {
@@ -45,5 +48,34 @@ inline std::string flag_value(int argc, char** argv, const std::string& name) {
   }
   return {};
 }
+
+/// Applies `--threads N` (falling back to LTEFP_THREADS / hardware) and
+/// returns the active worker count. Call once at the top of main().
+inline int configure_threads(int argc, char** argv) {
+  const std::string v = flag_value(argc, argv, "--threads");
+  if (!v.empty()) set_thread_count(std::atoi(v.c_str()));
+  return thread_count();
+}
+
+/// Wall-clock timer for whole-bench runs. report() prints elapsed seconds
+/// and the active thread count, so the same table bench is directly
+/// comparable across `--threads` configurations (the per-table numbers
+/// themselves are bit-identical by the determinism contract).
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  void report(const char* label) const {
+    std::fprintf(stderr, "[%s] wall-clock %.2f s (threads=%d)\n", label, elapsed_s(),
+                 thread_count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace ltefp::bench

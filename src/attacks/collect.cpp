@@ -5,6 +5,7 @@
 
 #include "apps/background.hpp"
 #include "apps/factory.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "lte/network.hpp"
 #include "sniffer/sniffer.hpp"
@@ -80,17 +81,21 @@ CollectedTrace collect_trace(apps::AppId app, const CollectConfig& config) {
   return out;
 }
 
+std::uint64_t session_seed(std::uint64_t campaign_seed, apps::AppId app, int session_index,
+                           int day) {
+  return derive_seed({campaign_seed, static_cast<std::uint64_t>(app),
+                      static_cast<std::uint64_t>(session_index),
+                      static_cast<std::uint64_t>(static_cast<std::int64_t>(day))});
+}
+
 std::vector<CollectedTrace> collect_traces(apps::AppId app, int count,
                                            const CollectConfig& config) {
-  std::vector<CollectedTrace> out;
-  out.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
+  if (count <= 0) return {};
+  return parallel_map(static_cast<std::size_t>(count), [&](std::size_t i) {
     CollectConfig c = config;
-    c.seed = config.seed + 0x9E37ULL * static_cast<std::uint64_t>(i + 1) +
-             static_cast<std::uint64_t>(app) * 1000003ULL;
-    out.push_back(collect_trace(app, c));
-  }
-  return out;
+    c.seed = session_seed(config.seed, app, static_cast<int>(i), config.day);
+    return collect_trace(app, c);
+  });
 }
 
 }  // namespace ltefp::attacks

@@ -47,7 +47,18 @@ struct CollectedTrace {
 /// Runs one collection session and returns the victim's trace.
 CollectedTrace collect_trace(apps::AppId app, const CollectConfig& config);
 
-/// Collects `count` traces with distinct sub-seeds.
+/// Seed of one collection session: a SplitMix64 hash of (campaign seed,
+/// app, session index, day). A pure function of the session coordinates —
+/// no session's RNG stream depends on how many sessions ran before it, so
+/// sessions can be collected in any order (or in parallel) and a future
+/// reordering of the campaign loop cannot silently reshuffle datasets.
+/// Pinned by regression test; changing this re-rolls every dataset.
+std::uint64_t session_seed(std::uint64_t campaign_seed, apps::AppId app, int session_index,
+                           int day);
+
+/// Collects `count` traces with distinct session_seed()-derived sub-seeds.
+/// Sessions run concurrently on the global pool (common/parallel.hpp);
+/// results are returned in session-index order regardless of thread count.
 std::vector<CollectedTrace> collect_traces(apps::AppId app, int count,
                                            const CollectConfig& config);
 

@@ -6,6 +6,7 @@
 
 #include "apps/background.hpp"
 #include "apps/factory.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "dtw/dtw.hpp"
@@ -139,13 +140,30 @@ PairObservation run_pair_session(apps::AppId app, bool paired,
   return obs;
 }
 
+std::vector<double> trace_similarity_matrix(std::span<const sniffer::Trace> traces,
+                                            TimeMs origin, TimeMs t_w, TimeMs duration) {
+  const auto bins = static_cast<std::size_t>(std::max<TimeMs>(1, duration / t_w));
+  dtw::DtwOptions options;
+  options.band = static_cast<int>(std::max<std::size_t>(4, bins / 8));
+  std::vector<std::vector<double>> series(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    series[i] = sniffer::frames_per_bin(traces[i], origin, t_w, bins);
+  }
+  return dtw::similarity_matrix(series, options);
+}
+
 SimilarityStats measure_similarity(apps::AppId app, int runs, const CorrelationConfig& config) {
-  RunningStats stats;
-  for (int i = 0; i < runs; ++i) {
+  if (runs <= 0) return {};
+  // Each run's seed is a pure function of (config seed, run index), so the
+  // heavyweight pair sessions simulate concurrently; the running-stats
+  // reduction happens on the calling thread in run order.
+  const auto sims = parallel_map(static_cast<std::size_t>(runs), [&](std::size_t i) {
     CorrelationConfig c = config;
     c.seed = config.seed + 1000003ULL * static_cast<std::uint64_t>(i + 1);
-    stats.add(run_pair_session(app, /*paired=*/true, c).similarity);
-  }
+    return run_pair_session(app, /*paired=*/true, c).similarity;
+  });
+  RunningStats stats;
+  for (const double s : sims) stats.add(s);
   SimilarityStats out;
   out.mean = stats.mean();
   out.stddev = stats.stddev();
@@ -156,17 +174,23 @@ SimilarityStats measure_similarity(apps::AppId app, int runs, const CorrelationC
 ml::BinaryMetrics correlation_attack(apps::AppId app, int train_pairs, int test_pairs,
                                      const CorrelationConfig& config) {
   const auto collect = [&](int count, std::uint64_t salt) {
+    // Flat task per (pair index, world): sessions simulate concurrently,
+    // and the dataset is assembled on the calling thread in the serial
+    // loop's exact order (paired before unpaired for each index).
+    const auto observations =
+        parallel_map(static_cast<std::size_t>(count) * 2, [&](std::size_t j) {
+          const auto i = static_cast<int>(j / 2);
+          const bool paired = j % 2 == 0;
+          CorrelationConfig c = config;
+          c.seed = config.seed ^ salt;
+          c.seed += 7919ULL * static_cast<std::uint64_t>(i + 1) + (paired ? 1 : 0);
+          return run_pair_session(app, paired, c);
+        });
     features::Dataset data;
     data.feature_names = {"sim_ul_dl", "sim_dl_ul", "sim_total", "volume_ratio"};
     data.label_names = {"independent", "in-contact"};
-    for (int i = 0; i < count; ++i) {
-      for (const bool paired : {true, false}) {
-        CorrelationConfig c = config;
-        c.seed = config.seed ^ salt;
-        c.seed += 7919ULL * static_cast<std::uint64_t>(i + 1) + (paired ? 1 : 0);
-        const PairObservation obs = run_pair_session(app, paired, c);
-        data.add(obs.features, paired ? 1 : 0);
-      }
+    for (const PairObservation& obs : observations) {
+      data.add(obs.features, obs.actually_paired ? 1 : 0);
     }
     return data;
   };

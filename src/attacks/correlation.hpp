@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "apps/app_id.hpp"
@@ -65,5 +66,14 @@ ml::BinaryMetrics correlation_attack(apps::AppId app, int train_pairs, int test_
 features::FeatureVector similarity_features(const sniffer::Trace& a, const sniffer::Trace& b,
                                             TimeMs origin, TimeMs t_w, TimeMs duration,
                                             TimeMs clock_skew = 0);
+
+/// All-pairs DTW similarity of captured traces: bins each trace into a
+/// per-T_w frame-count series from `origin`, then fills the flattened
+/// row-major n×n matrix of cross-trace similarities — the candidate-pair
+/// screen an attacker runs over every tailed victim before the per-pair
+/// contact classifier. Pairs are computed concurrently (dtw::
+/// similarity_matrix); output is bit-identical at any thread count.
+std::vector<double> trace_similarity_matrix(std::span<const sniffer::Trace> traces,
+                                            TimeMs origin, TimeMs t_w, TimeMs duration);
 
 }  // namespace ltefp::attacks

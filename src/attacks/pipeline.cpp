@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "attacks/replay.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace ltefp::attacks {
@@ -41,12 +42,19 @@ std::vector<CollectedTrace> collect_all_traces(const PipelineConfig& config) {
   collect.background_apps = config.background_apps;
   collect.seed = config.seed;
 
-  std::vector<CollectedTrace> traces;
-  for (const apps::AppId app : apps::kAllApps) {
-    auto app_traces = collect_traces(app, config.traces_per_app, collect);
-    for (auto& t : app_traces) traces.push_back(std::move(t));
-  }
-  return traces;
+  if (config.traces_per_app <= 0) return {};
+  // One flat task per (app, session): all sessions of the campaign run
+  // concurrently, not just sessions within one app. session_seed() makes
+  // each task's RNG stream a pure function of its coordinates, and the
+  // slot-indexed map keeps the canonical app-major order, so the result is
+  // bit-identical to the serial per-app loop at any thread count.
+  const auto per_app = static_cast<std::size_t>(config.traces_per_app);
+  return parallel_map(static_cast<std::size_t>(apps::kNumApps) * per_app, [&](std::size_t i) {
+    const apps::AppId app = apps::kAllApps[i / per_app];
+    CollectConfig c = collect;
+    c.seed = session_seed(collect.seed, app, static_cast<int>(i % per_app), collect.day);
+    return collect_trace(app, c);
+  });
 }
 
 features::Dataset build_dataset(const PipelineConfig& config) {
@@ -90,10 +98,13 @@ TraceVerdict FingerprintPipeline::classify_trace(const sniffer::Trace& trace,
   verdict.window_count = windows.size();
   if (windows.empty()) return verdict;
 
+  // Predictions are computed per-window in parallel slots; the vote count
+  // is an order-stable reduction on the calling thread.
+  const auto predictions = parallel_map(
+      windows.size(), [&](std::size_t i) { return model_->predict(windows[i]); },
+      /*chunk=*/16);
   std::vector<std::size_t> votes(apps::kNumApps, 0);
-  for (const auto& w : windows) {
-    ++votes[static_cast<std::size_t>(model_->predict(w))];
-  }
+  for (const int p : predictions) ++votes[static_cast<std::size_t>(p)];
   const auto winner =
       static_cast<std::size_t>(std::max_element(votes.begin(), votes.end()) - votes.begin());
   verdict.app = static_cast<apps::AppId>(winner);
@@ -104,9 +115,13 @@ TraceVerdict FingerprintPipeline::classify_trace(const sniffer::Trace& trace,
 
 ml::ConfusionMatrix FingerprintPipeline::evaluate(const features::Dataset& test_set) const {
   if (!model_) throw std::logic_error("FingerprintPipeline: not trained");
+  const auto predictions = parallel_map(
+      test_set.samples.size(),
+      [&](std::size_t i) { return model_->predict(test_set.samples[i].features); },
+      /*chunk=*/16);
   ml::ConfusionMatrix cm(apps::kNumApps);
-  for (const auto& s : test_set.samples) {
-    cm.add(s.label, model_->predict(s.features));
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    cm.add(test_set.samples[i].label, predictions[i]);
   }
   return cm;
 }

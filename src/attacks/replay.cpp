@@ -39,17 +39,22 @@ std::vector<CollectedTrace> load_corpus(const std::string& dir, std::optional<ap
   const tracestore::Corpus corpus = tracestore::Corpus::open(dir);
   tracestore::CorpusFilter filter;
   if (app) filter.app = static_cast<std::uint16_t>(*app);
-  std::vector<CollectedTrace> out;
+  // Metadata screening stays serial and cheap; the .ltt decodes behind
+  // load_all() run concurrently, returned in seq order.
   for (const auto& entry : corpus.select(filter)) {
     if (entry.meta.app >= static_cast<std::uint16_t>(apps::kNumApps)) {
       throw tracestore::TraceStoreError("corpus: " + entry.file + ": app code " +
                                         std::to_string(entry.meta.app) +
                                         " is not a known AppId");
     }
+  }
+  std::vector<CollectedTrace> out;
+  auto loaded_all = corpus.load_all(filter);
+  for (auto& loaded : loaded_all) {
     CollectedTrace t;
-    t.app = static_cast<apps::AppId>(entry.meta.app);
-    t.session_start = entry.meta.session_start;
-    t.trace = corpus.load(entry);
+    t.app = static_cast<apps::AppId>(loaded.entry.meta.app);
+    t.session_start = loaded.entry.meta.session_start;
+    t.trace = std::move(loaded.trace);
     std::unordered_set<lte::Rnti> rntis;
     for (const auto& r : t.trace) rntis.insert(r.rnti);
     t.rnti_count = rntis.size();

@@ -1,0 +1,214 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ltefp {
+namespace {
+
+thread_local bool t_in_region = false;
+
+/// One parallel region: chunks are claimed by atomic index, completion is
+/// counted down, the first exception wins.
+struct Job {
+  std::function<void(std::size_t, std::size_t)> body;
+  std::size_t total = 0;
+  std::size_t chunk = 1;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::mutex m;
+  std::condition_variable done;
+  std::exception_ptr error;  // guarded by m
+
+  /// Claims and runs chunks until none remain. Safe from any thread.
+  void work() {
+    t_in_region = true;
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(total, begin + chunk);
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(m);
+        if (!error) error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> g(m);
+        done.notify_all();
+      }
+    }
+    t_in_region = false;
+  }
+};
+
+int env_thread_count() {
+  const char* env = std::getenv("LTEFP_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> g(m_);
+    return resolve_locked();
+  }
+
+  void set_threads(int n) {
+    join_workers();
+    std::lock_guard<std::mutex> g(m_);
+    configured_ = n > 0 ? n : env_thread_count();
+  }
+
+  void run(std::size_t n, std::size_t chunk, const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    if (chunk == 0) chunk = 1;
+    int threads;
+    {
+      std::lock_guard<std::mutex> g(m_);
+      threads = resolve_locked();
+    }
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    // Serial execution: thread count 1, a nested region, or a single chunk.
+    // Chunks run inline in ascending order — byte-for-byte the serial path.
+    if (threads <= 1 || t_in_region || num_chunks == 1) {
+      const bool outer = !t_in_region;
+      t_in_region = true;
+      try {
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+          const std::size_t begin = c * chunk;
+          fn(begin, std::min(n, begin + chunk));
+        }
+      } catch (...) {
+        if (outer) t_in_region = false;
+        throw;
+      }
+      if (outer) t_in_region = false;
+      return;
+    }
+
+    // One region at a time: a second top-level caller queues here rather
+    // than corrupting the current job's handoff.
+    std::lock_guard<std::mutex> region(run_m_);
+
+    auto job = std::make_shared<Job>();
+    job->body = fn;
+    job->total = n;
+    job->chunk = chunk;
+    job->num_chunks = num_chunks;
+    job->remaining.store(num_chunks, std::memory_order_relaxed);
+
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      ensure_workers_locked(threads - 1);
+      job_ = job;
+      ++generation_;
+      work_cv_.notify_all();
+    }
+
+    job->work();  // the caller participates
+
+    {
+      std::unique_lock<std::mutex> jl(job->m);
+      job->done.wait(jl, [&] { return job->remaining.load(std::memory_order_acquire) == 0; });
+    }
+    {
+      std::lock_guard<std::mutex> g(m_);
+      if (job_ == job) job_.reset();
+    }
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> g(job->m);
+      error = job->error;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() { join_workers(); }
+
+  int resolve_locked() {
+    if (configured_ == 0) configured_ = env_thread_count();
+    return configured_;
+  }
+
+  void ensure_workers_locked(int wanted) {
+    while (static_cast<int>(workers_.size()) < wanted) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void join_workers() {
+    std::vector<std::thread> workers;
+    {
+      std::lock_guard<std::mutex> g(m_);
+      stop_ = true;
+      work_cv_.notify_all();
+      workers.swap(workers_);
+    }
+    for (auto& w : workers) w.join();
+    std::lock_guard<std::mutex> g(m_);
+    stop_ = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        work_cv_.wait(lk, [&] { return stop_ || (job_ && generation_ != seen); });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      if (job) job->work();
+    }
+  }
+
+  std::mutex run_m_;  // serialises top-level parallel regions
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;  // guarded by m_
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  int configured_ = 0;  // 0 = not yet resolved
+};
+
+}  // namespace
+
+int thread_count() { return Pool::instance().threads(); }
+
+void set_thread_count(int n) { Pool::instance().set_threads(n); }
+
+bool in_parallel_region() { return t_in_region; }
+
+void parallel_for(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  Pool::instance().run(n, chunk, fn);
+}
+
+}  // namespace ltefp

@@ -6,20 +6,30 @@
 namespace ltefp {
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+std::uint64_t splitmix64_mix(std::uint64_t x) {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
+std::uint64_t derive_seed(std::initializer_list<std::uint64_t> parts) {
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t part : parts) seed = splitmix64_mix(seed ^ part);
+  return seed;
+}
 
 Rng::Rng(std::uint64_t seed) {
-  for (auto& s : state_) s = splitmix64(seed);
+  // Sequential SplitMix64 stream, exactly as before splitmix64_mix was
+  // factored out: state_[i] = mix(seed + (i+1) * gamma).
+  for (auto& s : state_) {
+    s = splitmix64_mix(seed);
+    seed += 0x9e3779b97f4a7c15ULL;
+  }
   // Avoid the (astronomically unlikely) all-zero state.
   if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
     state_[0] = 1;

@@ -8,10 +8,22 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
 namespace ltefp {
+
+/// One stateless SplitMix64 step: adds the golden gamma to x and returns
+/// the finalised mix. The building block for hashing structured task
+/// coordinates into seeds.
+std::uint64_t splitmix64_mix(std::uint64_t x);
+
+/// Hash-combines the parts into one seed by chaining SplitMix64 steps.
+/// Used to derive per-task RNG streams as a pure function of coordinates
+/// like (config seed, app, session index, day) — no shared mutable RNG
+/// state, so parallel task order cannot reshuffle anyone's stream.
+std::uint64_t derive_seed(std::initializer_list<std::uint64_t> parts);
 
 /// xoshiro256** PRNG with distribution helpers.
 ///

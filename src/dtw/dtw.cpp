@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/parallel.hpp"
+
 namespace ltefp::dtw {
 namespace {
 
@@ -78,6 +80,31 @@ DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
 double similarity_from_distance(double distance, double scale) {
   if (scale <= 0.0) return 0.0;
   return std::exp(-distance / scale);
+}
+
+std::vector<double> similarity_matrix(std::span<const std::vector<double>> series,
+                                      const DtwOptions& options) {
+  const std::size_t n = series.size();
+  std::vector<double> matrix(n * n, 0.0);
+  // Upper-triangle pair k -> (i, j), i <= j. Each task owns slots (i,j)
+  // and (j,i); no two tasks share a slot.
+  const std::size_t pairs = n * (n + 1) / 2;
+  parallel_for(pairs, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      // Invert k = i*n - i*(i-1)/2 + (j - i) by scanning rows: cheap next
+      // to the O(len²) DTW each cell costs.
+      std::size_t i = 0, row_start = 0;
+      while (row_start + (n - i) <= k) {
+        row_start += n - i;
+        ++i;
+      }
+      const std::size_t j = i + (k - row_start);
+      const double sim = series_similarity(series[i], series[j], options);
+      matrix[i * n + j] = sim;
+      matrix[j * n + i] = sim;
+    }
+  });
+  return matrix;
 }
 
 double series_similarity(std::span<const double> a, std::span<const double> b,

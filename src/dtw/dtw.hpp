@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace ltefp::dtw {
 
@@ -39,5 +40,13 @@ double similarity_from_distance(double distance, double scale);
 /// of high-volume traces is not penalised for absolute size.
 double series_similarity(std::span<const double> a, std::span<const double> b,
                          const DtwOptions& options = {});
+
+/// Flattened row-major n×n matrix of series_similarity over every pair —
+/// the correlation attack's candidate-pair engine (Tables VI/VII at corpus
+/// scale). Symmetric: pairs (i <= j) are computed concurrently on the
+/// global pool, each task writing only its own mirrored slots, so the
+/// matrix is bit-identical at any thread count.
+std::vector<double> similarity_matrix(std::span<const std::vector<double>> series,
+                                      const DtwOptions& options = {});
 
 }  // namespace ltefp::dtw

@@ -1,12 +1,16 @@
 #include "ml/classifier.hpp"
 
+#include "common/parallel.hpp"
+
 namespace ltefp::ml {
 
 std::vector<int> predict_all(const Classifier& model, const Dataset& data) {
-  std::vector<int> out;
-  out.reserve(data.size());
-  for (const auto& s : data.samples) out.push_back(model.predict(s.features));
-  return out;
+  // Batch-parallel over samples: predict() is const and each result lands
+  // in its own slot, so output order matches sample order exactly.
+  return parallel_map(
+      data.samples.size(),
+      [&](std::size_t i) { return model.predict(data.samples[i].features); },
+      /*chunk=*/16);
 }
 
 }  // namespace ltefp::ml

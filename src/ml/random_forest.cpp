@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace ltefp::ml {
@@ -21,18 +22,21 @@ void RandomForest::fit(const Dataset& train) {
         1, static_cast<int>(std::round(std::sqrt(static_cast<double>(train.feature_count())))));
   }
 
-  trees_.clear();
-  trees_.reserve(static_cast<std::size_t>(config_.num_trees));
-  Rng rng(config_.seed);
   const auto n_boot = static_cast<std::size_t>(
       std::max(1.0, config_.bootstrap_fraction * static_cast<double>(train.size())));
-  std::vector<std::size_t> bootstrap(n_boot);
-  for (int t = 0; t < config_.num_trees; ++t) {
+  // Each tree's bootstrap resample and split RNG derive from (forest seed,
+  // tree index) alone — not from a shared sequential stream — so trees
+  // grow concurrently into their own slots and the forest is bit-identical
+  // at any thread count.
+  const int num_classes = num_classes_;
+  trees_ = parallel_map(static_cast<std::size_t>(config_.num_trees), [&](std::size_t t) {
+    Rng rng(derive_seed({config_.seed, static_cast<std::uint64_t>(t)}));
+    std::vector<std::size_t> bootstrap(n_boot);
     for (auto& idx : bootstrap) idx = rng.index(train.size());
     DecisionTree tree(tree_config, rng());
-    tree.fit(train, bootstrap, num_classes_);
-    trees_.push_back(std::move(tree));
-  }
+    tree.fit(train, bootstrap, num_classes);
+    return tree;
+  });
 }
 
 RandomForest RandomForest::from_trees(std::vector<DecisionTree> trees, int num_classes) {

@@ -1,6 +1,10 @@
 // Random Forest — the classifier the paper selects (Table VIII:
 // "Number of tree = 100, Seed = 1"): bagged CART trees with per-node
 // feature subsampling, probability averaging across trees.
+//
+// fit() grows trees concurrently on the global pool: tree t's RNG is
+// derived from (seed, t), so the forest is bit-identical at any thread
+// count.
 #pragma once
 
 #include <cstdint>

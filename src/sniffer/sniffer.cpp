@@ -1,8 +1,50 @@
 #include "sniffer/sniffer.hpp"
 
+#include "common/parallel.hpp"
 #include "lte/crc.hpp"
 
 namespace ltefp::sniffer {
+
+BlindDecodeResult blind_decode_dci(const lte::EncodedDci& enc, TimeMs time, lte::CellId cell) {
+  BlindDecodeResult out;
+  // Blind decode: parse the plain-text fields, then unmask the CRC to
+  // recover the RNTI that scrambled it.
+  const auto fields = lte::decode_dci_fields(enc);
+  if (!fields) return out;
+  const lte::Rnti rnti = lte::recover_rnti(enc.payload, enc.masked_crc);
+  if (rnti == lte::kPagingRnti) {
+    out.kind = BlindDecodeResult::Kind::kPaging;
+    return out;
+  }
+  if (rnti < lte::kMinCRnti || rnti > lte::kMaxCRnti) return out;
+  out.kind = BlindDecodeResult::Kind::kRecord;
+  out.record = TraceRecord{time, rnti, fields->direction, fields->tb_bytes(), cell};
+  return out;
+}
+
+Trace blind_decode(std::span<const lte::PdcchSubframe> subframes) {
+  // Each subframe decodes into its own slot; the concatenation below runs
+  // on the calling thread in subframe order.
+  const auto per_subframe = parallel_map(
+      subframes.size(),
+      [&](std::size_t i) {
+        const lte::PdcchSubframe& sf = subframes[i];
+        Trace records;
+        records.reserve(sf.dcis.size());
+        for (const auto& enc : sf.dcis) {
+          const BlindDecodeResult r = blind_decode_dci(enc, sf.time, sf.cell);
+          if (r.kind == BlindDecodeResult::Kind::kRecord) records.push_back(r.record);
+        }
+        return records;
+      },
+      /*chunk=*/32);
+  std::size_t total = 0;
+  for (const auto& part : per_subframe) total += part.size();
+  Trace out;
+  out.reserve(total);
+  for (const auto& part : per_subframe) out.insert(out.end(), part.begin(), part.end());
+  return out;
+}
 
 Sniffer::Sniffer(SnifferConfig config, Rng rng) : config_(config), rng_(rng) {}
 
@@ -12,20 +54,16 @@ void Sniffer::on_subframe(const lte::PdcchSubframe& subframe) {
       ++missed_;
       continue;
     }
-    // Blind decode: parse the plain-text fields, then unmask the CRC to
-    // recover the RNTI that scrambled it.
-    const auto fields = lte::decode_dci_fields(enc);
-    if (!fields) continue;
-    const lte::Rnti rnti = lte::recover_rnti(enc.payload, enc.masked_crc);
-    if (rnti == lte::kPagingRnti) {
+    const BlindDecodeResult decoded = blind_decode_dci(enc, subframe.time, subframe.cell);
+    if (decoded.kind == BlindDecodeResult::Kind::kPaging) {
       ++paging_;
       continue;  // paging indications are counted, not traced
     }
-    if (rnti < lte::kMinCRnti || rnti > lte::kMaxCRnti) continue;
+    if (decoded.kind != BlindDecodeResult::Kind::kRecord) continue;
+    const lte::Rnti rnti = decoded.record.rnti;
     last_seen_[rnti] = subframe.time;
     if (!rnti_allowed(rnti)) continue;
-    records_.push_back(TraceRecord{subframe.time, rnti, fields->direction,
-                                   fields->tb_bytes(), subframe.cell});
+    records_.push_back(decoded.record);
   }
 
   // Spurious detection surviving the activity filter (false decode). Only

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,6 +25,30 @@
 #include "sniffer/trace.hpp"
 
 namespace ltefp::sniffer {
+
+/// Outcome of blind-decoding one DCI candidate by CRC re-masking.
+struct BlindDecodeResult {
+  enum class Kind {
+    kRecord,   // a C-RNTI data grant: `record` is valid
+    kPaging,   // P-RNTI indication (counted, never traced)
+    kInvalid,  // malformed fields or RNTI outside the C-RNTI space
+  };
+  Kind kind = Kind::kInvalid;
+  TraceRecord record;
+};
+
+/// Blind-decodes one encoded DCI: parses the plain-text fields and unmasks
+/// the CRC to recover the scrambling RNTI. Pure — the stateless core both
+/// the live Sniffer and the offline batch decoder share.
+BlindDecodeResult blind_decode_dci(const lte::EncodedDci& enc, TimeMs time, lte::CellId cell);
+
+/// Offline batch blind decode of captured PDCCH subframes — the attacker's
+/// post-processing path when raw captures are decoded after the fact
+/// rather than live. Lossless (no radio-imperfection model). The CRC
+/// re-masking search runs concurrently across subframe batches on the
+/// global pool; records come back in (subframe, DCI) capture order, bit-
+/// identical at any thread count.
+Trace blind_decode(std::span<const lte::PdcchSubframe> subframes);
 
 struct SnifferConfig {
   /// Probability of failing to decode any given DCI (RF conditions).

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/csv.hpp"
+#include "common/parallel.hpp"
 #include "tracestore/reader.hpp"
 
 namespace fs = std::filesystem;
@@ -184,6 +185,16 @@ sniffer::Trace Corpus::load(const CorpusEntry& entry) const {
                           std::to_string(trace.size()));
   }
   return trace;
+}
+
+std::vector<Corpus::LoadedTrace> Corpus::load_all(const CorpusFilter& filter) const {
+  const std::vector<CorpusEntry> selected = select(filter);
+  return parallel_map(selected.size(), [&](std::size_t i) {
+    LoadedTrace out;
+    out.entry = selected[i];
+    out.trace = load(selected[i]);
+    return out;
+  });
 }
 
 }  // namespace ltefp::tracestore

@@ -83,6 +83,18 @@ class Corpus {
   /// file's embedded metadata matches the manifest row.
   sniffer::Trace load(const CorpusEntry& entry) const;
 
+  /// One decoded trace paired with its manifest entry.
+  struct LoadedTrace {
+    CorpusEntry entry;
+    sniffer::Trace trace;
+  };
+
+  /// Decodes every entry matching `filter`, in seq order. The .ltt files
+  /// decode concurrently on the global pool (each task owns its own stream
+  /// and output slot); the first decode error is rethrown. Result order is
+  /// select() order at any thread count.
+  std::vector<LoadedTrace> load_all(const CorpusFilter& filter = {}) const;
+
  private:
   std::string directory_;
   std::vector<CorpusEntry> entries_;

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "attacks/collect.hpp"
+#include "common/parallel.hpp"
 #include "lte/operator_profile.hpp"
 #include "attacks/correlation.hpp"
 #include "attacks/history.hpp"
@@ -305,7 +306,10 @@ int cmd_info(const Args&) {
 void usage() {
   std::fprintf(stderr,
                "usage: ltefp <collect|record|replay|inspect|train|classify|history|correlate|info>"
-               " [--flag value]...\n"
+               " [--threads N] [--flag value]...\n"
+               "  --threads N  worker threads for collection/training/replay (default:\n"
+               "               LTEFP_THREADS env var, else hardware; results are\n"
+               "               bit-identical at any thread count)\n"
                "  collect   --app A --operator O --minutes M --seed S --out F\n"
                "  record    --operator O --traces N --minutes M --seed S --day D --out DIR\n"
                "  replay    --corpus DIR [--seed S]\n"
@@ -327,6 +331,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
+    if (const auto threads = args.get("threads")) {
+      set_thread_count(static_cast<int>(std::stol(*threads)));
+    }
     if (command == "collect") return cmd_collect(args);
     if (command == "record") return cmd_record(args);
     if (command == "replay") return cmd_replay(args);
