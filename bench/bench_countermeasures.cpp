@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
       if (verdict.window_count > 0 && verdict.app == app) ++identified;
       confidence += verdict.confidence;
     }
-    if (baseline_records == 0.0) {
+    if (baseline_records <= 0.0) {
       baseline_records = records;
       baseline_bytes = air_bytes;
     }

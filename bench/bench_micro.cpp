@@ -23,6 +23,7 @@
 
 #include "attacks/collect.hpp"
 #include "attacks/pipeline.hpp"
+#include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "dtw/dtw.hpp"
@@ -446,7 +447,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      set_thread_count(std::atoi(argv[++i]));
+      set_thread_count(ltefp::bench::parse_int_or(argv[++i], 0));
     } else {
       passthrough.push_back(argv[i]);
     }

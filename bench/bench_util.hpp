@@ -8,6 +8,7 @@
 // must match is the *shape* of each table, per DESIGN.md.
 #pragma once
 
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -49,11 +50,19 @@ inline std::string flag_value(int argc, char** argv, const std::string& name) {
   return {};
 }
 
+/// Strict integer parse; returns `fallback` on malformed or trailing input.
+inline int parse_int_or(const std::string& v, int fallback) {
+  int n = 0;
+  const char* end = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(v.data(), end, n);
+  return (ec == std::errc{} && ptr == end) ? n : fallback;
+}
+
 /// Applies `--threads N` (falling back to LTEFP_THREADS / hardware) and
 /// returns the active worker count. Call once at the top of main().
 inline int configure_threads(int argc, char** argv) {
   const std::string v = flag_value(argc, argv, "--threads");
-  if (!v.empty()) set_thread_count(std::atoi(v.c_str()));
+  if (!v.empty()) set_thread_count(parse_int_or(v, 0));
   return thread_count();
 }
 

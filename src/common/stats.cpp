@@ -67,7 +67,7 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
     sxx += dx * dx;
     syy += dy * dy;
   }
-  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;  // sums of squares; 0 means constant
   return sxy / std::sqrt(sxx * syy);
 }
 

@@ -1,6 +1,7 @@
 #include "lte/enb.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "lte/tbs.hpp"
 

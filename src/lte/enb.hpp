@@ -10,7 +10,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -124,7 +124,10 @@ class Enb {
   RntiManager rnti_manager_;
   std::unique_ptr<Scheduler> dl_scheduler_;
   std::unique_ptr<Scheduler> ul_scheduler_;
-  std::unordered_map<UeId, UeContext> contexts_;
+  // Ordered by UeId: step() iterates this to build scheduler candidate
+  // lists, drive RNG-consuming countermeasures, and emit releases, so the
+  // iteration order is part of the deterministic-replay contract.
+  std::map<UeId, UeContext> contexts_;
   std::vector<PendingConnection> pending_;
   std::deque<Tmsi> page_queue_;
   /// HARQ retransmissions scheduled for a future subframe.

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <optional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -100,7 +101,10 @@ class Simulation {
   Rng rng_;
   Epc epc_;
   std::vector<std::unique_ptr<Enb>> enbs_;
-  std::unordered_map<UeId, UeState> ues_;
+  // Ordered by UeId: step() iterates this to generate traffic and trigger
+  // connections, so iteration order feeds the whole simulation; it must not
+  // depend on a hash function.
+  std::map<UeId, UeState> ues_;
   std::unordered_map<CellId, std::vector<PdcchObserver*>> observers_;
   TimeMs now_ = 0;
   UeId next_ue_ = 1;

@@ -54,7 +54,7 @@ double ConfusionMatrix::recall(int cls) const {
 double ConfusionMatrix::f_score(int cls) const {
   const double p = precision(cls);
   const double r = recall(cls);
-  if (p + r == 0.0) return 0.0;
+  if (p + r <= 0.0) return 0.0;  // both rates are non-negative
   return 2.0 * p * r / (p + r);
 }
 

@@ -1,5 +1,7 @@
 #include "sniffer/sniffer.hpp"
 
+#include <algorithm>
+
 #include "common/parallel.hpp"
 #include "lte/crc.hpp"
 
@@ -149,9 +151,12 @@ Trace Sniffer::trace_of_tmsi(lte::Tmsi tmsi) const {
 
 std::vector<lte::Rnti> Sniffer::active_rntis(TimeMs now) const {
   std::vector<lte::Rnti> out;
+  out.reserve(last_seen_.size());
+  // lint:allow(ordered-iteration) — order-independent filter; sorted below
   for (const auto& [rnti, seen] : last_seen_) {
     if (now - seen <= config_.activity_horizon) out.push_back(rnti);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -1,0 +1,493 @@
+// Tests for ltefp-lint (tools/lint/): tokenizer, every shipped rule (a
+// seeded violation fires, a lint:allow suppresses), configuration parsing,
+// the directory walker, and CLI exit-code semantics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace lint = ltefp::lint;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::string> all_ids() {
+  std::vector<std::string> ids;
+  for (const auto* rule : lint::all_rules()) ids.push_back(rule->id());
+  return ids;
+}
+
+/// Lints a snippet with every rule enabled (header-hygiene only applies
+/// when the path looks like a header).
+std::vector<lint::Finding> lint_cpp(std::string_view src,
+                                    std::string_view path = "src/x.cpp",
+                                    std::string_view sibling = {}) {
+  return lint::lint_source(path, src, all_ids(), sibling);
+}
+
+bool has_rule(const std::vector<lint::Finding>& fs, std::string_view rule) {
+  for (const auto& f : fs) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+TEST(Lexer, ClassifiesAndCountsLines) {
+  const auto toks = lint::lex("int a = 1;\n// note\ndouble b = 2.5;\n");
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, lint::TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1);
+  // The comment is its own token on line 2.
+  bool saw_comment = false;
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kComment) {
+      EXPECT_EQ(t.line, 2);
+      EXPECT_EQ(t.text, "// note");
+      saw_comment = true;
+    }
+  }
+  EXPECT_TRUE(saw_comment);
+}
+
+TEST(Lexer, CodeInsideStringsAndCommentsIsNotCode) {
+  // rand( appears only inside a string, a char-ish string, a line comment,
+  // and a block comment: the determinism rule must stay silent.
+  const auto findings = lint_cpp(
+      "const char* s = \"rand()\";\n"
+      "// rand()\n"
+      "/* std::random_device d; */\n"
+      "const char* r = R\"(time(nullptr))\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lexer, RawStringsWithDelimiters) {
+  const auto toks = lint::lex("auto s = R\"xx(a \" )\" rand() )xx\";\nint z;\n");
+  bool saw_string = false;
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kString) saw_string = true;
+    EXPECT_NE(t.text, "rand");
+  }
+  EXPECT_TRUE(saw_string);
+  EXPECT_EQ(toks.back().line, 2);
+}
+
+TEST(Lexer, PreprocessorLinesAreSingleTokens) {
+  const auto toks = lint::lex("#define F(x) \\\n  ((x) + 1)\nint after;\n");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, lint::TokKind::kPreproc);
+  // The continuation folds into the directive; `after` is on line 3.
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, FloatLiteralClassification) {
+  EXPECT_TRUE(lint::is_float_literal("1.0"));
+  EXPECT_TRUE(lint::is_float_literal("0.5f"));
+  EXPECT_TRUE(lint::is_float_literal(".25"));
+  EXPECT_TRUE(lint::is_float_literal("1e9"));
+  EXPECT_TRUE(lint::is_float_literal("0x1.8p3"));
+  EXPECT_FALSE(lint::is_float_literal("42"));
+  EXPECT_FALSE(lint::is_float_literal("0x1E"));  // hex digit E is not an exponent
+  EXPECT_FALSE(lint::is_float_literal("100ULL"));
+}
+
+TEST(Lexer, MultiCharOperatorsStayWhole) {
+  const auto toks = lint::lex("a == b; c != d; e::f; g->h;");
+  std::vector<std::string> ops;
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kPunct && t.text.size() > 1) ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"==", "!=", "::", "->"}));
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+
+TEST(DeterminismRule, FiresOnSeededViolations) {
+  EXPECT_TRUE(has_rule(lint_cpp("int x = std::rand();\n"), "determinism"));
+  EXPECT_TRUE(has_rule(lint_cpp("srand(42);\n"), "determinism"));
+  EXPECT_TRUE(has_rule(lint_cpp("std::random_device rd;\n"), "determinism"));
+  EXPECT_TRUE(
+      has_rule(lint_cpp("auto t = std::chrono::steady_clock::now();\n"), "determinism"));
+  EXPECT_TRUE(
+      has_rule(lint_cpp("auto t = high_resolution_clock::now();\n"), "determinism"));
+  EXPECT_TRUE(has_rule(lint_cpp("std::time_t t = time(nullptr);\n"), "determinism"));
+}
+
+TEST(DeterminismRule, IgnoresMemberFunctionsNamedLikeBannedCalls) {
+  // sim.time() / obj->clock() are project accessors, not libc calls.
+  EXPECT_FALSE(has_rule(lint_cpp("auto t = sim.time();\n"), "determinism"));
+  EXPECT_FALSE(has_rule(lint_cpp("auto t = obj->clock();\n"), "determinism"));
+  // A variable merely named `time` is not a call.
+  EXPECT_FALSE(has_rule(lint_cpp("TimeMs time = 0;\n"), "determinism"));
+}
+
+TEST(DeterminismRule, SuppressedByAllow) {
+  EXPECT_FALSE(has_rule(
+      lint_cpp("int x = std::rand();  // lint:allow(determinism) — test shim\n"),
+      "determinism"));
+  // A standalone allow-comment covers the following line.
+  EXPECT_FALSE(has_rule(lint_cpp("// lint:allow(determinism) — seeding the fixture\n"
+                                 "int x = std::rand();\n"),
+                        "determinism"));
+  // ...but only the following line, not the whole file.
+  EXPECT_TRUE(has_rule(lint_cpp("// lint:allow(determinism)\n"
+                                "int ok = 0;\n"
+                                "int x = std::rand();\n"),
+                       "determinism"));
+}
+
+// ---------------------------------------------------------------------------
+// ordered-iteration
+
+TEST(OrderedIterationRule, FiresOnRangeForOverUnorderedMember) {
+  const auto findings = lint_cpp(
+      "std::unordered_map<int, double> scores_;\n"
+      "void dump() {\n"
+      "  for (const auto& [k, v] : scores_) emit(k, v);\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(findings, "ordered-iteration"));
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(OrderedIterationRule, FindsDeclarationsInSiblingHeader) {
+  // The member lives in the paired header; the .cpp only iterates it.
+  const std::string header = "struct S { std::unordered_set<int> seen_; };\n";
+  const auto findings = lint_cpp("void S::dump() { for (int v : seen_) emit(v); }\n",
+                                 "src/s.cpp", header);
+  EXPECT_TRUE(has_rule(findings, "ordered-iteration"));
+}
+
+TEST(OrderedIterationRule, OrderedContainersAndLookupsAreFine) {
+  EXPECT_FALSE(has_rule(lint_cpp("std::map<int, int> m_;\n"
+                                 "void dump() { for (auto& [k, v] : m_) emit(k); }\n"),
+                        "ordered-iteration"));
+  // Lookups into an unordered container do not fire; only iteration does.
+  EXPECT_FALSE(has_rule(lint_cpp("std::unordered_map<int, int> m_;\n"
+                                 "int get(int k) { return m_.at(k); }\n"),
+                        "ordered-iteration"));
+  // A classic indexed for over a vector is fine.
+  EXPECT_FALSE(has_rule(lint_cpp("std::vector<int> v_;\n"
+                                 "void f() { for (std::size_t i = 0; i < v_.size(); ++i) g(i); }\n"),
+                        "ordered-iteration"));
+}
+
+TEST(OrderedIterationRule, SuppressedByAllow) {
+  EXPECT_FALSE(has_rule(
+      lint_cpp("std::unordered_map<int, int> m_;\n"
+               "void f() {\n"
+               "  // lint:allow(ordered-iteration) — result is sorted below\n"
+               "  for (auto& [k, v] : m_) out.push_back(k);\n"
+               "}\n"),
+      "ordered-iteration"));
+}
+
+// ---------------------------------------------------------------------------
+// decoder-hardening
+
+TEST(DecoderHardeningRule, FiresOnSeededViolations) {
+  EXPECT_TRUE(has_rule(lint_cpp("int v = atoi(s);\n"), "decoder-hardening"));
+  EXPECT_TRUE(has_rule(lint_cpp("int v = std::stoi(field);\n"), "decoder-hardening"));
+  EXPECT_TRUE(has_rule(lint_cpp("long v = strtol(p, &e, 10);\n"), "decoder-hardening"));
+  EXPECT_TRUE(has_rule(lint_cpp("sscanf(line, \"%d\", &v);\n"), "decoder-hardening"));
+}
+
+TEST(DecoderHardeningRule, FromCharsIsTheBlessedPath) {
+  EXPECT_FALSE(has_rule(
+      lint_cpp("auto [p, ec] = std::from_chars(b, e, v);\nif (ec != std::errc{}) fail();\n"),
+      "decoder-hardening"));
+}
+
+TEST(DecoderHardeningRule, SuppressedByAllow) {
+  EXPECT_FALSE(has_rule(
+      lint_cpp("int v = atoi(s);  // lint:allow(decoder-hardening) — trusted fixture\n"),
+      "decoder-hardening"));
+}
+
+// ---------------------------------------------------------------------------
+// header-hygiene
+
+TEST(HeaderHygieneRule, MissingPragmaOnceFires) {
+  const auto findings = lint_cpp("int f();\n", "src/x.hpp");
+  ASSERT_TRUE(has_rule(findings, "header-hygiene"));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(HeaderHygieneRule, PragmaOnceSatisfies) {
+  EXPECT_FALSE(has_rule(lint_cpp("// doc\n#pragma once\nint f();\n", "src/x.hpp"),
+                        "header-hygiene"));
+  // Extra whitespace in the directive is fine.
+  EXPECT_FALSE(has_rule(lint_cpp("#  pragma   once\nint f();\n", "src/x.hpp"),
+                        "header-hygiene"));
+}
+
+TEST(HeaderHygieneRule, UsingNamespaceInHeaderFires) {
+  EXPECT_TRUE(has_rule(
+      lint_cpp("#pragma once\nusing namespace std;\n", "src/x.hpp"), "header-hygiene"));
+  // using-declarations and aliases are fine.
+  EXPECT_FALSE(has_rule(
+      lint_cpp("#pragma once\nusing std::vector;\nnamespace fs = std::filesystem;\n",
+               "src/x.hpp"),
+      "header-hygiene"));
+}
+
+TEST(HeaderHygieneRule, OnlyAppliesToHeaders) {
+  EXPECT_FALSE(has_rule(lint_cpp("using namespace std;\nint f();\n", "src/x.cpp"),
+                        "header-hygiene"));
+}
+
+TEST(HeaderHygieneRule, SuppressedByAllow) {
+  EXPECT_FALSE(has_rule(
+      lint_cpp("#pragma once\nusing namespace std::chrono_literals;  "
+               "// lint:allow(header-hygiene) — literal suffixes only\n",
+               "src/x.hpp"),
+      "header-hygiene"));
+}
+
+// ---------------------------------------------------------------------------
+// float-eq
+
+TEST(FloatEqRule, FiresOnSeededViolations) {
+  EXPECT_TRUE(has_rule(lint_cpp("if (x == 0.0) f();\n"), "float-eq"));
+  EXPECT_TRUE(has_rule(lint_cpp("if (1.5f != y) f();\n"), "float-eq"));
+  EXPECT_TRUE(has_rule(lint_cpp("bool b = x == (0.25);\n"), "float-eq"));
+  EXPECT_TRUE(has_rule(lint_cpp("bool b = x == -1.0;\n"), "float-eq"));
+}
+
+TEST(FloatEqRule, IntegerAndOrderingComparisonsAreFine) {
+  EXPECT_FALSE(has_rule(lint_cpp("if (x == 0) f();\n"), "float-eq"));
+  EXPECT_FALSE(has_rule(lint_cpp("if (x <= 0.0) f();\n"), "float-eq"));
+  EXPECT_FALSE(has_rule(lint_cpp("if (n != 42u) f();\n"), "float-eq"));
+}
+
+TEST(FloatEqRule, SuppressedByAllow) {
+  EXPECT_FALSE(has_rule(
+      lint_cpp("if (x == 0.0) f();  // lint:allow(float-eq) — sentinel check\n"),
+      "float-eq"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppression hygiene
+
+TEST(Suppressions, UnknownRuleIdIsItselfAFinding) {
+  const auto findings = lint_cpp("int x = 1;  // lint:allow(no-such-rule)\n");
+  ASSERT_TRUE(has_rule(findings, "bad-suppression"));
+}
+
+TEST(Suppressions, EmptyAllowIsItselfAFinding) {
+  EXPECT_TRUE(has_rule(lint_cpp("int x = 1;  // lint:allow()\n"), "bad-suppression"));
+}
+
+TEST(Suppressions, AllowOnlySilencesTheNamedRule) {
+  // The allow names float-eq but the violation is determinism.
+  EXPECT_TRUE(has_rule(
+      lint_cpp("int x = std::rand();  // lint:allow(float-eq)\n"), "determinism"));
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+constexpr const char* kConfig =
+    "# comment\n"
+    "ignore = [\"build*\", \".git\"]\n"
+    "\n"
+    "[default]\n"
+    "rules = [\"header-hygiene\", \"float-eq\"]\n"
+    "\n"
+    "[dir.\"src\"]\n"
+    "enable = [\"determinism\"]\n"
+    "\n"
+    "[dir.\"src/sniffer\"]\n"
+    "enable = [\"decoder-hardening\"]\n"
+    "\n"
+    "[dir.\"tests\"]\n"
+    "disable = [\"float-eq\"]\n";
+
+TEST(Config, ParsesSectionsKeysAndIgnores) {
+  lint::Config config;
+  std::string error;
+  ASSERT_TRUE(lint::parse_config(kConfig, &config, &error)) << error;
+  EXPECT_EQ(config.ignore, (std::vector<std::string>{"build*", ".git"}));
+  EXPECT_EQ(config.default_rules,
+            (std::vector<std::string>{"header-hygiene", "float-eq"}));
+  ASSERT_EQ(config.dirs.size(), 3u);
+  EXPECT_EQ(config.dirs[0].prefix, "src");
+  EXPECT_EQ(config.dirs[0].enable, (std::vector<std::string>{"determinism"}));
+}
+
+TEST(Config, RulesForAppliesOverridesBySpecificity) {
+  lint::Config config;
+  std::string error;
+  ASSERT_TRUE(lint::parse_config(kConfig, &config, &error)) << error;
+
+  const auto src = lint::rules_for(config, "src/lte/enb.cpp");
+  EXPECT_EQ(src, (std::vector<std::string>{"header-hygiene", "float-eq", "determinism"}));
+
+  const auto sniffer = lint::rules_for(config, "src/sniffer/trace.cpp");
+  EXPECT_EQ(sniffer, (std::vector<std::string>{"header-hygiene", "float-eq",
+                                               "determinism", "decoder-hardening"}));
+
+  const auto tests = lint::rules_for(config, "tests/test_lint.cpp");
+  EXPECT_EQ(tests, (std::vector<std::string>{"header-hygiene"}));
+
+  // Prefix matching is per path component: "src-extra" is not under "src".
+  const auto other = lint::rules_for(config, "src-extra/x.cpp");
+  EXPECT_EQ(other, (std::vector<std::string>{"header-hygiene", "float-eq"}));
+}
+
+TEST(Config, RulesReplaceOverridesDefaults) {
+  lint::Config config;
+  std::string error;
+  ASSERT_TRUE(lint::parse_config(
+      "[default]\nrules = [\"float-eq\"]\n[dir.\"bench\"]\nrules = [\"determinism\"]\n",
+      &config, &error))
+      << error;
+  EXPECT_EQ(lint::rules_for(config, "bench/bench_micro.cpp"),
+            (std::vector<std::string>{"determinism"}));
+}
+
+TEST(Config, RejectsMalformedInput) {
+  lint::Config config;
+  std::string error;
+  EXPECT_FALSE(lint::parse_config("[default]\nrules = [\"no-such-rule\"]\n", &config,
+                                  &error));
+  EXPECT_NE(error.find("no-such-rule"), std::string::npos);
+
+  EXPECT_FALSE(lint::parse_config("[bogus-section]\n", &config, &error));
+  EXPECT_FALSE(lint::parse_config("[default]\nbogus = [\"x\"]\n", &config, &error));
+  EXPECT_FALSE(lint::parse_config("[default]\nrules = \"not-an-array\"\n", &config,
+                                  &error));
+  EXPECT_FALSE(lint::parse_config("stray line\n", &config, &error));
+}
+
+TEST(Config, GlobMatch) {
+  EXPECT_TRUE(lint::glob_match("build*", "build-asan"));
+  EXPECT_TRUE(lint::glob_match("build*", "build"));
+  EXPECT_TRUE(lint::glob_match("*.cpp", "x.cpp"));
+  EXPECT_TRUE(lint::glob_match("?.cpp", "x.cpp"));
+  EXPECT_FALSE(lint::glob_match("build*", "rebuild"));
+  EXPECT_FALSE(lint::glob_match("*.cpp", "x.hpp"));
+}
+
+// ---------------------------------------------------------------------------
+// CLI behavior (exit codes, walking, ignore patterns)
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "ltefp_lint_cli" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << text;
+  }
+
+  int run(std::vector<std::string> args, std::string* out_text = nullptr,
+          std::string* err_text = nullptr) {
+    std::vector<std::string> argv_s = {"ltefp-lint", "--root", root_.string()};
+    for (auto& a : args) argv_s.push_back(std::move(a));
+    std::vector<const char*> argv;
+    for (const auto& s : argv_s) argv.push_back(s.c_str());
+    std::ostringstream out, err;
+    const int rc = lint::run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+    if (out_text) *out_text = out.str();
+    if (err_text) *err_text = err.str();
+    return rc;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(CliTest, ExitZeroOnCleanTree) {
+  write("src/ok.cpp", "int f() { return 1; }\n");
+  write("src/ok.hpp", "#pragma once\nint f();\n");
+  EXPECT_EQ(run({"src"}), 0);
+}
+
+TEST_F(CliTest, ExitOneOnFindingsAndReportsFileLineRule) {
+  write("src/bad.cpp", "int x = std::rand();\n");
+  std::string out;
+  EXPECT_EQ(run({"src"}, &out), 1);
+  EXPECT_NE(out.find("src/bad.cpp:1: determinism:"), std::string::npos);
+}
+
+TEST_F(CliTest, ExitTwoOnUsageErrors) {
+  EXPECT_EQ(run({"--bogus-flag"}), 2);
+  EXPECT_EQ(run({}), 2);                       // no paths
+  EXPECT_EQ(run({"no/such/dir"}), 2);          // nonexistent input
+  EXPECT_EQ(run({"--config"}), 2);             // flag missing its value
+}
+
+TEST_F(CliTest, ExitTwoOnBadConfig) {
+  write("src/ok.cpp", "int f();\n");
+  write("bad.toml", "[default]\nrules = [\"no-such-rule\"]\n");
+  std::string err;
+  EXPECT_EQ(run({"--config", (root_ / "bad.toml").string(), "src"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("no-such-rule"), std::string::npos);
+}
+
+TEST_F(CliTest, ImplicitConfigIsPickedUpFromRoot) {
+  // float-eq disabled for src via the root config: the violation passes.
+  write(".ltefp-lint.toml", "[default]\nrules = [\"float-eq\"]\n"
+                            "[dir.\"src\"]\ndisable = [\"float-eq\"]\n");
+  write("src/f.cpp", "bool b = x == 0.5;\n");
+  EXPECT_EQ(run({"src"}), 0);
+}
+
+TEST_F(CliTest, WalksRecursivelyAndHonorsIgnorePatterns) {
+  write(".ltefp-lint.toml", "ignore = [\"build*\", \"vendored\"]\n"
+                            "[default]\nrules = [\"determinism\"]\n");
+  write("src/deep/nested/bad.cpp", "srand(1);\n");
+  write("src/build-asan/generated.cpp", "srand(1);\n");   // ignored
+  write("src/vendored/third_party.cpp", "srand(1);\n");   // ignored
+  std::string out;
+  EXPECT_EQ(run({"src"}, &out), 1);
+  EXPECT_NE(out.find("src/deep/nested/bad.cpp:1"), std::string::npos);
+  EXPECT_EQ(out.find("build-asan"), std::string::npos);
+  EXPECT_EQ(out.find("vendored"), std::string::npos);
+}
+
+TEST_F(CliTest, NonSourceFilesAreSkipped) {
+  write("src/readme.md", "rand() everywhere\n");
+  write("src/data.csv", "time(nullptr)\n");
+  EXPECT_EQ(run({"src"}), 0);
+}
+
+TEST_F(CliTest, SiblingHeaderInformsOrderedIteration) {
+  write("src/s.hpp", "#pragma once\nstruct S { std::unordered_map<int, int> m_; };\n");
+  write("src/s.cpp", "void S::f() { for (auto& [k, v] : m_) g(k); }\n");
+  std::string out;
+  EXPECT_EQ(run({"src"}, &out), 1);
+  EXPECT_NE(out.find("src/s.cpp:1: ordered-iteration"), std::string::npos);
+}
+
+TEST_F(CliTest, ListRulesPrintsEveryShippedRule) {
+  std::string out;
+  EXPECT_EQ(run({"--list-rules"}, &out), 0);
+  for (const auto* rule : lint::all_rules()) {
+    EXPECT_NE(out.find(rule->id()), std::string::npos) << rule->id();
+  }
+}
+
+TEST_F(CliTest, LintsASingleFileArgument) {
+  write("src/bad.cpp", "int v = atoi(s);\n");
+  write(".ltefp-lint.toml", "[default]\nrules = [\"decoder-hardening\"]\n");
+  EXPECT_EQ(run({"src/bad.cpp"}), 1);
+}
+
+}  // namespace

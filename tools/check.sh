@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# tools/check.sh — the one-command gate for this repo.
+#
+# Runs, in order, each as a named step that fails the whole script:
+#   1. configure + build with LTEFP_WERROR=ON (warnings are errors) and
+#      LTEFP_LINT=ON (ltefp-lint runs as part of the build)
+#   2. ltefp-lint over src/ tools/ bench/ tests/ (explicit, for a clear log)
+#   3. the tier-1 ctest suite
+#   4. when the compiler supports them: the ASan+UBSan decoder suites and
+#      the TSan parallel/attack suites (skip with --no-sanitizers)
+#
+# Modes:
+#   tools/check.sh              full gate
+#   tools/check.sh --format     clang-format --dry-run --Werror only (no-op
+#                               with a notice if clang-format is missing)
+#   tools/check.sh --no-sanitizers    skip step 4
+#   tools/check.sh --sanitizers-only  only step 4 (CI runs 1-3 as its own
+#                                     named steps)
+#
+# Exits non-zero on the first failing step.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+format_mode=0
+sanitizers=1
+main_gate=1
+for arg in "$@"; do
+  case "$arg" in
+    --format) format_mode=1 ;;
+    --no-sanitizers) sanitizers=0 ;;
+    --sanitizers-only) main_gate=0 ;;
+    *)
+      echo "usage: tools/check.sh [--format] [--no-sanitizers] [--sanitizers-only]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+run_format() {
+  step "clang-format (dry run)"
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "clang-format not found; skipping format check"
+    return 0
+  fi
+  find "$ROOT/src" "$ROOT/tools" "$ROOT/bench" "$ROOT/tests" "$ROOT/examples" \
+    \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+    xargs -0 clang-format --dry-run --Werror
+  echo "format clean"
+}
+
+if [[ "$format_mode" == 1 ]]; then
+  run_format
+  exit 0
+fi
+
+# Probe whether a sanitizer actually links and runs in this toolchain/container.
+sanitizer_works() {
+  local flag="$1" tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  echo 'int main() { return 0; }' > "$tmp/probe.cpp"
+  c++ "$flag" -o "$tmp/probe" "$tmp/probe.cpp" >/dev/null 2>&1 &&
+    "$tmp/probe" >/dev/null 2>&1
+}
+
+if [[ "$main_gate" == 1 ]]; then
+  step "configure (LTEFP_WERROR=ON LTEFP_LINT=ON)"
+  cmake -B "$ROOT/build-check" -S "$ROOT" -DLTEFP_WERROR=ON -DLTEFP_LINT=ON
+
+  step "build (warnings are errors; lint runs as a build step)"
+  cmake --build "$ROOT/build-check" -j"$JOBS"
+
+  step "ltefp-lint"
+  "$ROOT/build-check/tools/lint/ltefp-lint" --root "$ROOT" src tools bench tests
+
+  step "tier-1 tests"
+  ctest --test-dir "$ROOT/build-check" -j"$JOBS" --output-on-failure
+fi
+
+if [[ "$sanitizers" == 1 ]]; then
+  if sanitizer_works -fsanitize=address; then
+    step "ASan+UBSan decoder suites"
+    cmake -B "$ROOT/build-asan" -S "$ROOT" -DLTEFP_SANITIZE=address >/dev/null
+    cmake --build "$ROOT/build-asan" -j"$JOBS"
+    ctest --test-dir "$ROOT/build-asan" -j"$JOBS" --output-on-failure \
+      -R 'TraceStore|Trace|Sniffer|Csv'
+  else
+    echo "ASan unavailable in this toolchain; skipping"
+  fi
+  if sanitizer_works -fsanitize=thread; then
+    step "TSan parallel/attack suites"
+    cmake -B "$ROOT/build-tsan" -S "$ROOT" -DLTEFP_SANITIZE=thread >/dev/null
+    cmake --build "$ROOT/build-tsan" -j"$JOBS"
+    LTEFP_THREADS=4 ctest --test-dir "$ROOT/build-tsan" -j"$JOBS" --output-on-failure \
+      -R 'Parallel|BitIdentity|Attack'
+  else
+    echo "TSan unavailable in this toolchain; skipping"
+  fi
+fi
+
+step "all checks passed"

@@ -1,0 +1,221 @@
+// .ltefp-lint.toml parsing — a strict, line-oriented TOML subset. Strings
+// are double-quoted, arrays are single-line, sections are `[default]` or
+// `[dir."path"]`, and anything unrecognized is a hard error so typos in the
+// config cannot silently disable a rule.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace ltefp::lint {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Strips a trailing `# comment`, respecting double-quoted strings.
+std::string_view strip_comment(std::string_view s) {
+  bool quoted = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') quoted = !quoted;
+    if (s[i] == '#' && !quoted) return s.substr(0, i);
+  }
+  return s;
+}
+
+bool parse_string(std::string_view v, std::string* out) {
+  v = trim(v);
+  if (v.size() < 2 || v.front() != '"' || v.back() != '"') return false;
+  *out = std::string(v.substr(1, v.size() - 2));
+  return out->find('"') == std::string::npos;
+}
+
+bool parse_array(std::string_view v, std::vector<std::string>* out) {
+  v = trim(v);
+  if (v.size() < 2 || v.front() != '[' || v.back() != ']') return false;
+  v = trim(v.substr(1, v.size() - 2));
+  out->clear();
+  while (!v.empty()) {
+    const std::size_t comma = [&] {
+      bool quoted = false;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (v[i] == '"') quoted = !quoted;
+        if (v[i] == ',' && !quoted) return i;
+      }
+      return v.size();
+    }();
+    std::string item;
+    if (!parse_string(v.substr(0, comma), &item)) return false;
+    out->push_back(std::move(item));
+    v = comma < v.size() ? trim(v.substr(comma + 1)) : std::string_view{};
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_config(std::string_view text, Config* out, std::string* error) {
+  *out = Config{};
+  enum class Section { kTop, kDefault, kDir };
+  Section section = Section::kTop;
+  DirOverride* dir = nullptr;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = trim(strip_comment(text.substr(pos, eol - pos)));
+    pos = eol + 1;
+    ++line_no;
+    const auto fail = [&](const std::string& what) {
+      if (error) *error = "line " + std::to_string(line_no) + ": " + what;
+      return false;
+    };
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("unterminated section header");
+      const std::string_view name = trim(line.substr(1, line.size() - 2));
+      if (name == "default") {
+        section = Section::kDefault;
+        dir = nullptr;
+      } else if (name.starts_with("dir.")) {
+        std::string prefix;
+        if (!parse_string(name.substr(4), &prefix) || prefix.empty()) {
+          return fail("expected [dir.\"path\"]");
+        }
+        while (prefix.back() == '/') prefix.pop_back();
+        out->dirs.push_back(DirOverride{});
+        dir = &out->dirs.back();
+        dir->prefix = prefix;
+        section = Section::kDir;
+      } else {
+        return fail("unknown section [" + std::string(name) + "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return fail("expected key = value");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+
+    std::vector<std::string> items;
+    if (!parse_array(value, &items)) {
+      return fail("value for '" + std::string(key) + "' must be an array of strings");
+    }
+    if (section == Section::kTop) {
+      if (key == "ignore") {
+        out->ignore = std::move(items);
+      } else {
+        return fail("unknown top-level key '" + std::string(key) + "'");
+      }
+    } else if (section == Section::kDefault) {
+      if (key == "rules") {
+        out->default_rules = std::move(items);
+      } else {
+        return fail("unknown key '" + std::string(key) + "' in [default]");
+      }
+    } else {
+      if (key == "rules") {
+        dir->rules = std::move(items);
+        dir->replace = true;
+      } else if (key == "enable") {
+        dir->enable = std::move(items);
+      } else if (key == "disable") {
+        dir->disable = std::move(items);
+      } else {
+        return fail("unknown key '" + std::string(key) + "' in [dir]");
+      }
+    }
+  }
+
+  // Reject rule ids that do not exist: a typo must not silently pass.
+  const auto check_ids = [&](const std::vector<std::string>& ids) {
+    for (const std::string& id : ids) {
+      if (find_rule(id) == nullptr) {
+        if (error) *error = "unknown rule id '" + id + "'";
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!check_ids(out->default_rules)) return false;
+  for (const DirOverride& d : out->dirs) {
+    if (!check_ids(d.rules) || !check_ids(d.enable) || !check_ids(d.disable)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Config default_config() {
+  Config c;
+  for (const Rule* rule : all_rules()) c.default_rules.push_back(rule->id());
+  c.ignore = {"build*", ".git"};
+  return c;
+}
+
+std::vector<std::string> rules_for(const Config& config, std::string_view rel_path) {
+  std::vector<std::string> enabled = config.default_rules;
+  // Shorter prefixes first, so deeper directories override shallower ones.
+  std::vector<const DirOverride*> matches;
+  for (const DirOverride& d : config.dirs) {
+    const bool match = rel_path == d.prefix ||
+                       (rel_path.size() > d.prefix.size() &&
+                        rel_path.starts_with(d.prefix) &&
+                        rel_path[d.prefix.size()] == '/');
+    if (match) matches.push_back(&d);
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const DirOverride* a, const DirOverride* b) {
+              return a->prefix.size() < b->prefix.size();
+            });
+  for (const DirOverride* d : matches) {
+    if (d->replace) enabled = d->rules;
+    for (const std::string& id : d->enable) {
+      if (std::find(enabled.begin(), enabled.end(), id) == enabled.end()) {
+        enabled.push_back(id);
+      }
+    }
+    for (const std::string& id : d->disable) {
+      enabled.erase(std::remove(enabled.begin(), enabled.end(), id), enabled.end());
+    }
+  }
+  return enabled;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative glob with backtracking over the last `*`.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t] || pattern[p] == '?')) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace ltefp::lint

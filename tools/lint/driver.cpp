@@ -1,0 +1,315 @@
+// Driver: wires the lexer, rules, config, suppression scanning, and the
+// directory walker into the `ltefp-lint` command-line interface.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace ltefp::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kAllowMarker = "lint:allow(";
+
+bool header_path(std::string_view path) {
+  return path.ends_with(".h") || path.ends_with(".hpp") || path.ends_with(".hh") ||
+         path.ends_with(".hxx");
+}
+
+bool lintable_path(std::string_view path) {
+  return header_path(path) || path.ends_with(".cpp") || path.ends_with(".cc") ||
+         path.ends_with(".cxx");
+}
+
+/// Parsed `lint:allow(float-eq, determinism)` directives: line -> rule ids
+/// allowed there.
+/// A comment with nothing but the directive on its own line also covers the
+/// next line, so suppressions can sit above long statements.
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Finding> bad;  // malformed or unknown-rule directives
+
+  bool covers(int line, const std::string& rule) const {
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) > 0;
+  }
+};
+
+Suppressions scan_suppressions(const std::vector<Token>& tokens) {
+  Suppressions sup;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::kComment) continue;
+    const std::size_t at = t.text.find(kAllowMarker);
+    if (at == std::string::npos) continue;
+    const std::size_t open = at + kAllowMarker.size() - 1;
+    const std::size_t close = t.text.find(')', open);
+    std::vector<std::string> ids;
+    if (close != std::string::npos) {
+      std::string id;
+      for (std::size_t j = open + 1; j <= close; ++j) {
+        const char c = t.text[j];
+        if (c == ',' || c == ')' || c == ' ' || c == '\t') {
+          if (!id.empty()) ids.push_back(id);
+          id.clear();
+        } else {
+          id += c;
+        }
+      }
+    }
+    const auto bad_directive = [&](const std::string& why) {
+      Finding f;
+      f.line = t.line;
+      f.rule = "bad-suppression";
+      f.message = why;
+      sup.bad.push_back(std::move(f));
+    };
+    if (close == std::string::npos) {
+      bad_directive("malformed lint:allow directive: missing ')'");
+      continue;
+    }
+    if (ids.empty()) {
+      bad_directive("lint:allow must name at least one rule-id");
+      continue;
+    }
+    bool ok = true;
+    for (const std::string& id : ids) {
+      if (find_rule(id) == nullptr) {
+        bad_directive("lint:allow names unknown rule '" + id + "'");
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    // Standalone comment (first token on its line) also covers the next line.
+    const bool standalone = i == 0 || tokens[i - 1].line != t.line;
+    for (const std::string& id : ids) {
+      sup.by_line[t.line].insert(id);
+      if (standalone) sup.by_line[t.line + 1].insert(id);
+    }
+  }
+  return sup;
+}
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::string to_rel(const fs::path& p) {
+  std::string s = p.generic_string();
+  if (s.starts_with("./")) s.erase(0, 2);
+  return s;
+}
+
+bool ignored(const fs::path& rel, const Config& config) {
+  const std::string rel_s = to_rel(rel);
+  const std::string name = rel.filename().generic_string();
+  for (const std::string& pat : config.ignore) {
+    if (glob_match(pat, name) || glob_match(pat, rel_s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string_view rel_path, std::string_view text,
+                                 const std::vector<std::string>& enabled,
+                                 std::string_view sibling) {
+  SourceFile file;
+  file.path = std::string(rel_path);
+  file.is_header = header_path(rel_path);
+  file.tokens = lex(text);
+  if (!sibling.empty()) file.sibling_decls = lex(sibling);
+
+  const Suppressions sup = scan_suppressions(file.tokens);
+
+  std::vector<Finding> raw;
+  for (const std::string& id : enabled) {
+    if (const Rule* rule = find_rule(id)) rule->check(file, raw);
+  }
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    if (sup.covers(f.line, f.rule)) continue;
+    f.file = file.path;
+    out.push_back(std::move(f));
+  }
+  // A broken suppression is itself a finding: every allow must carry a
+  // valid rule-id, or the audit trail rots.
+  for (Finding f : sup.bad) {
+    f.file = file.path;
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+bool collect_sources(const std::string& root, const std::vector<std::string>& paths,
+                     const Config& config, std::vector<std::string>* out,
+                     std::string* error) {
+  out->clear();
+  const fs::path root_p(root);
+  for (const std::string& p : paths) {
+    const fs::path abs = root_p / p;
+    std::error_code ec;
+    if (fs::is_regular_file(abs, ec)) {
+      out->push_back(to_rel(p));
+      continue;
+    }
+    if (!fs::is_directory(abs, ec)) {
+      if (error) *error = "no such file or directory: " + p;
+      return false;
+    }
+    std::vector<fs::path> stack = {fs::path(p)};
+    while (!stack.empty()) {
+      const fs::path dir = stack.back();
+      stack.pop_back();
+      for (const auto& entry : fs::directory_iterator(root_p / dir, ec)) {
+        const fs::path rel = dir / entry.path().filename();
+        if (ignored(rel, config)) continue;
+        if (entry.is_directory()) {
+          stack.push_back(rel);
+        } else if (entry.is_regular_file() && lintable_path(rel.generic_string())) {
+          out->push_back(to_rel(rel));
+        }
+      }
+      if (ec) {
+        if (error) *error = "cannot read directory: " + dir.generic_string();
+        return false;
+      }
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  const auto usage = [&](std::ostream& os) {
+    os << "usage: ltefp-lint [--config FILE] [--root DIR] [--quiet] "
+          "[--list-rules] PATH...\n"
+          "exit status: 0 clean, 1 findings, 2 usage/config error\n";
+  };
+
+  std::string root = ".";
+  std::string config_path;
+  bool quiet = false;
+  bool list_rules = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](std::string* dst) {
+      if (i + 1 >= argc) {
+        err << "ltefp-lint: " << arg << " needs a value\n";
+        return false;
+      }
+      *dst = argv[++i];
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(out);
+      return 0;
+    } else if (arg == "--root") {
+      if (!value(&root)) return 2;
+    } else if (arg == "--config") {
+      if (!value(&config_path)) return 2;
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.starts_with("-")) {
+      err << "ltefp-lint: unknown option " << arg << "\n";
+      usage(err);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const Rule* rule : all_rules()) {
+      out << rule->id() << ": " << rule->summary() << "\n";
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    err << "ltefp-lint: no paths given\n";
+    usage(err);
+    return 2;
+  }
+
+  Config config;
+  if (config_path.empty()) {
+    const fs::path implicit = fs::path(root) / ".ltefp-lint.toml";
+    std::error_code ec;
+    if (fs::is_regular_file(implicit, ec)) config_path = implicit.string();
+  }
+  if (config_path.empty()) {
+    config = default_config();
+  } else {
+    std::string text, parse_error;
+    if (!read_file(config_path, &text)) {
+      err << "ltefp-lint: cannot read config " << config_path << "\n";
+      return 2;
+    }
+    if (!parse_config(text, &config, &parse_error)) {
+      err << "ltefp-lint: " << config_path << ": " << parse_error << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::string> files;
+  std::string walk_error;
+  if (!collect_sources(root, paths, config, &files, &walk_error)) {
+    err << "ltefp-lint: " << walk_error << "\n";
+    return 2;
+  }
+
+  std::size_t total = 0;
+  std::size_t files_with_findings = 0;
+  for (const std::string& rel : files) {
+    std::string text;
+    if (!read_file(fs::path(root) / rel, &text)) {
+      err << "ltefp-lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    // Feed the sibling header so rules can see member declarations the
+    // .cpp relies on (e.g. unordered members iterated by method bodies).
+    std::string sibling;
+    if (!header_path(rel)) {
+      const std::size_t dot = rel.rfind('.');
+      for (const char* ext : {".hpp", ".h", ".hh", ".hxx"}) {
+        if (read_file(fs::path(root) / (rel.substr(0, dot) + ext), &sibling)) break;
+      }
+    }
+    const std::vector<Finding> findings =
+        lint_source(rel, text, rules_for(config, rel), sibling);
+    if (!findings.empty()) ++files_with_findings;
+    for (const Finding& f : findings) {
+      ++total;
+      out << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
+    }
+  }
+  if (!quiet) {
+    err << "ltefp-lint: " << files.size() << " files checked, " << total
+        << " finding" << (total == 1 ? "" : "s");
+    if (total > 0) err << " in " << files_with_findings << " files";
+    err << "\n";
+  }
+  return total == 0 ? 0 : 1;
+}
+
+}  // namespace ltefp::lint

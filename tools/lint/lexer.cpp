@@ -1,0 +1,240 @@
+// Tokenizer for ltefp-lint. Hand-rolled, tolerant, zero dependencies: it
+// only needs to be faithful enough to tell code from comments, strings,
+// and preprocessor lines, and to keep line numbers exact.
+#include "lint.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace ltefp::lint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators we must not split: `::` vs `:` matters for
+// range-for detection, `==`/`!=` for float-eq, `->` for member calls.
+// Longest match first.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--", ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        out.push_back(line_comment());
+      } else if (c == '/' && peek(1) == '*') {
+        out.push_back(block_comment());
+      } else if (c == '#' && line_start_) {
+        out.push_back(preproc_line());
+      } else if (ident_start(c)) {
+        out.push_back(ident_or_prefixed_string());
+      } else if (digit(c) || (c == '.' && digit(peek(1)))) {
+        out.push_back(number());
+      } else if (c == '"') {
+        out.push_back(string_lit(pos_));
+      } else if (c == '\'') {
+        out.push_back(char_lit());
+      } else {
+        out.push_back(punct());
+      }
+      line_start_ = false;
+    }
+    return out;
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  Token make(TokKind kind, std::size_t begin, int start_line) {
+    return Token{kind, std::string(src_.substr(begin, pos_ - begin)), start_line, false};
+  }
+
+  Token line_comment() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    return make(TokKind::kComment, begin, start);
+  }
+
+  Token block_comment() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    return make(TokKind::kComment, begin, start);
+  }
+
+  // One logical preprocessor line: backslash continuations are folded into
+  // the token, embedded /* */ comments tolerated on the same line.
+  Token preproc_line() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      ++pos_;
+    }
+    return make(TokKind::kPreproc, begin, start);
+  }
+
+  Token ident_or_prefixed_string() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    const std::string_view name = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      if (name == "R" || name == "u8R" || name == "uR" || name == "UR" || name == "LR") {
+        return raw_string(begin, start);
+      }
+      if (name == "u8" || name == "u" || name == "U" || name == "L") {
+        return string_lit(begin, start);
+      }
+    }
+    return make(TokKind::kIdent, begin, start);
+  }
+
+  Token string_lit(std::size_t begin, int start_line = -1) {
+    const int start = start_line < 0 ? line_ : start_line;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        if (peek(1) == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '"') break;
+      if (c == '\n') ++line_;  // unterminated; keep line count honest
+    }
+    return make(TokKind::kString, begin, start);
+  }
+
+  Token raw_string(std::size_t begin, int start) {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        pos_ += closer.size();
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    return make(TokKind::kString, begin, start);
+  }
+
+  Token char_lit() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '\'' || c == '\n') break;
+    }
+    return make(TokKind::kChar, begin, start);
+  }
+
+  // pp-number: digits, letters, '.', digit separators, and exponent signs.
+  Token number() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Token t = make(TokKind::kNumber, begin, start);
+    t.is_float = is_float_literal(t.text);
+    return t;
+  }
+
+  Token punct() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    for (const std::string_view op : kPuncts) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        pos_ += op.size();
+        return make(TokKind::kPunct, begin, start);
+      }
+    }
+    ++pos_;
+    return make(TokKind::kPunct, begin, start);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_start_ = true;
+};
+
+}  // namespace
+
+bool is_float_literal(std::string_view text) {
+  if (text.empty()) return false;
+  const bool hex = text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
+  for (std::size_t i = hex ? 2 : 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (hex) {
+      if (c == 'p' || c == 'P') return true;  // hex floats require an exponent
+    } else {
+      if (c == '.' || c == 'e' || c == 'E') return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Token> lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace ltefp::lint

@@ -1,0 +1,9 @@
+// ltefp-lint entry point. All logic lives in the ltefp_lint_core library so
+// tests/test_lint.cpp can drive the CLI in-process.
+#include <iostream>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  return ltefp::lint::run_cli(argc, argv, std::cout, std::cerr);
+}

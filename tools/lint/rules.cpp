@@ -1,0 +1,341 @@
+// The project-specific rules. All of them are lexical: they see the token
+// stream of one file (plus declarations mined from its sibling header) and
+// never resolve types. That keeps the linter dependency-free and fast; the
+// price is documented heuristics rather than full semantic precision.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <unordered_set>
+
+namespace ltefp::lint {
+
+namespace {
+
+/// True for tokens rules should skip when looking at code structure.
+bool non_code(const Token& t) {
+  return t.kind == TokKind::kComment || t.kind == TokKind::kPreproc;
+}
+
+/// Index of the next code token at or after `i + 1`, or tokens.size().
+std::size_t next_code(const std::vector<Token>& toks, std::size_t i) {
+  for (++i; i < toks.size(); ++i) {
+    if (!non_code(toks[i])) return i;
+  }
+  return toks.size();
+}
+
+/// Index of the previous code token strictly before `i`, or SIZE_MAX.
+std::size_t prev_code(const std::vector<Token>& toks, std::size_t i) {
+  while (i-- > 0) {
+    if (!non_code(toks[i])) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// True when the code token before index `i` is `.` or `->` — i.e. the
+/// identifier at `i` is a member access, not a free/std function.
+bool member_access(const std::vector<Token>& toks, std::size_t i) {
+  const std::size_t p = prev_code(toks, i);
+  if (p == static_cast<std::size_t>(-1)) return false;
+  return is_punct(toks[p], ".") || is_punct(toks[p], "->");
+}
+
+/// True when the code token after identifier `i` opens a call.
+bool called(const std::vector<Token>& toks, std::size_t i) {
+  const std::size_t n = next_code(toks, i);
+  return n < toks.size() && is_punct(toks[n], "(");
+}
+
+void add(std::vector<Finding>& out, const Rule& rule, int line, std::string message) {
+  Finding f;
+  f.line = line;
+  f.rule = rule.id();
+  f.message = std::move(message);
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+
+class DeterminismRule final : public Rule {
+ public:
+  const char* id() const override { return "determinism"; }
+  const char* summary() const override {
+    return "bans ambient randomness and wall clocks in library code; all "
+           "randomness must flow through common/rng (ltefp::derive_seed)";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    static const std::unordered_set<std::string_view> kBannedCalls = {
+        "rand", "srand", "rand_r", "drand48", "random", "time", "clock",
+        "gettimeofday", "clock_gettime", "timespec_get", "localtime", "gmtime",
+    };
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "random_device") {
+        add(out, *this, t.line,
+            "'std::random_device' is nondeterministic; derive seeds with "
+            "ltefp::derive_seed / common/rng instead");
+        continue;
+      }
+      // steady_clock::now, system_clock::now, high_resolution_clock::now
+      if (t.text.size() > 6 && t.text.ends_with("_clock")) {
+        const std::size_t a = next_code(toks, i);
+        const std::size_t b = a < toks.size() ? next_code(toks, a) : toks.size();
+        if (b < toks.size() && is_punct(toks[a], "::") && is_ident(toks[b], "now")) {
+          add(out, *this, t.line,
+              "'" + t.text + "::now' reads the wall clock; deterministic library "
+              "code must be clocked in simulated TimeMs");
+          continue;
+        }
+      }
+      if (kBannedCalls.count(t.text) > 0 && called(toks, i) && !member_access(toks, i)) {
+        add(out, *this, t.line,
+            "call to '" + t.text + "' is nondeterministic in library code; use "
+            "common/rng for randomness and simulated TimeMs for time");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ordered-iteration
+
+class OrderedIterationRule final : public Rule {
+ public:
+  const char* id() const override { return "ordered-iteration"; }
+  const char* summary() const override {
+    return "flags range-for over std::unordered_{map,set}: iteration order is "
+           "unspecified and breaks bit-identical reproduction";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    std::unordered_set<std::string> names;  // membership tests only, never iterated
+    collect_unordered_names(file.sibling_decls, names);
+    collect_unordered_names(file.tokens, names);
+
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "for")) continue;
+      std::size_t open = next_code(toks, i);
+      if (open >= toks.size() || !is_punct(toks[open], "(")) continue;
+      // Find the top-level `:` of a range-for and the closing paren.
+      int depth = 1;
+      std::size_t colon = 0, close = 0;
+      for (std::size_t j = next_code(toks, open); j < toks.size();
+           j = next_code(toks, j)) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+          if (t.text == ")" || t.text == "]" || t.text == "}") {
+            --depth;
+            if (depth == 0) {
+              close = j;
+              break;
+            }
+          }
+          if (t.text == ":" && depth == 1 && colon == 0) colon = j;
+          if (t.text == ";" && depth == 1) break;  // classic for, not range-for
+        }
+      }
+      if (colon == 0 || close == 0) continue;
+      // The range expression: flag if it names a known unordered member or
+      // mentions an unordered type directly.
+      std::string expr;
+      bool hit = false;
+      for (std::size_t j = next_code(toks, colon); j < close; j = next_code(toks, j)) {
+        if (!expr.empty() && toks[j].kind == TokKind::kIdent) expr += ' ';
+        expr += toks[j].text;
+        if (toks[j].kind == TokKind::kIdent &&
+            (names.count(toks[j].text) > 0 ||
+             toks[j].text.find("unordered_") != std::string::npos)) {
+          hit = true;
+        }
+      }
+      if (hit) {
+        add(out, *this, toks[i].line,
+            "range-for over unordered container '" + expr +
+                "': iteration order is unspecified; iterate a sorted copy or "
+                "use an ordered container");
+      }
+    }
+  }
+
+ private:
+  // Records variable/member names declared with an unordered container type:
+  //   std::unordered_map<K, V> name;   const std::unordered_set<T>& name
+  static void collect_unordered_names(const std::vector<Token>& toks,
+                                      std::unordered_set<std::string>& names) {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || !t.text.starts_with("unordered_")) continue;
+      std::size_t j = next_code(toks, i);
+      if (j >= toks.size() || !is_punct(toks[j], "<")) continue;
+      int depth = 0;
+      for (; j < toks.size(); j = next_code(toks, j)) {
+        if (is_punct(toks[j], "<")) ++depth;
+        else if (is_punct(toks[j], ">")) --depth;
+        else if (is_punct(toks[j], ">>")) depth -= 2;
+        else if (is_punct(toks[j], ";")) break;
+        if (depth <= 0) break;
+      }
+      if (j >= toks.size() || depth > 0) continue;
+      j = next_code(toks, j);  // past the closing '>'
+      while (j < toks.size() &&
+             (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+              is_ident(toks[j], "const"))) {
+        j = next_code(toks, j);
+      }
+      if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+      // `type name(` is a function declaration, not a variable.
+      const std::size_t after = next_code(toks, j);
+      if (after < toks.size() && is_punct(toks[after], "(")) continue;
+      names.insert(toks[j].text);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// decoder-hardening
+
+class DecoderHardeningRule final : public Rule {
+ public:
+  const char* id() const override { return "decoder-hardening"; }
+  const char* summary() const override {
+    return "bans atoi/strtol/stoi-family parsing of untrusted input; use "
+           "std::from_chars with explicit error checks";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    static const std::unordered_set<std::string_view> kBanned = {
+        "atoi",   "atol",   "atoll",   "atof",    "strtol", "strtoll",
+        "strtoul", "strtoull", "strtod", "strtof", "strtold",
+        "stoi",   "stol",   "stoll",   "stoul",   "stoull", "stof",
+        "stod",   "stold",  "sscanf",  "scanf",   "fscanf",
+    };
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || kBanned.count(t.text) == 0) continue;
+      if (!called(toks, i) || member_access(toks, i)) continue;
+      add(out, *this, t.line,
+          "'" + t.text + "' parses without mandatory error handling; decode "
+          "untrusted input with std::from_chars and check ec and the consumed "
+          "range explicitly");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// header-hygiene
+
+class HeaderHygieneRule final : public Rule {
+ public:
+  const char* id() const override { return "header-hygiene"; }
+  const char* summary() const override {
+    return "headers must start with #pragma once and must not contain "
+           "`using namespace`";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    if (!file.is_header) return;
+    const auto& toks = file.tokens;
+    bool pragma_once = false;
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::kPreproc) continue;
+      std::string squeezed;
+      for (const char c : t.text) {
+        if (c != ' ' && c != '\t') squeezed += c;
+      }
+      if (squeezed == "#pragmaonce") {
+        pragma_once = true;
+        break;
+      }
+    }
+    if (!pragma_once) {
+      add(out, *this, 1, "header is missing '#pragma once'");
+    }
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "using")) continue;
+      const std::size_t n = next_code(toks, i);
+      if (n < toks.size() && is_ident(toks[n], "namespace")) {
+        add(out, *this, toks[i].line,
+            "'using namespace' in a header leaks the namespace into every "
+            "includer; qualify names instead");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// float-eq
+
+class FloatEqRule final : public Rule {
+ public:
+  const char* id() const override { return "float-eq"; }
+  const char* summary() const override {
+    return "flags ==/!= against a floating-point literal; compare with an "
+           "explicit tolerance or restructure the test";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kPunct || (t.text != "==" && t.text != "!=")) continue;
+      const std::size_t p = prev_code(toks, i);
+      bool hit = p != static_cast<std::size_t>(-1) &&
+                 toks[p].kind == TokKind::kNumber && toks[p].is_float;
+      // Look right, skipping grouping parens and unary sign.
+      std::size_t n = next_code(toks, i);
+      while (n < toks.size() && (is_punct(toks[n], "(") || is_punct(toks[n], "+") ||
+                                 is_punct(toks[n], "-"))) {
+        n = next_code(toks, n);
+      }
+      if (n < toks.size() && toks[n].kind == TokKind::kNumber && toks[n].is_float) {
+        hit = true;
+      }
+      if (hit) {
+        add(out, *this, t.line,
+            "exact floating-point '" + t.text +
+                "' comparison; use a tolerance, an ordering test, or integers");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<const Rule*>& all_rules() {
+  static const DeterminismRule determinism;
+  static const OrderedIterationRule ordered_iteration;
+  static const DecoderHardeningRule decoder_hardening;
+  static const HeaderHygieneRule header_hygiene;
+  static const FloatEqRule float_eq;
+  static const std::vector<const Rule*> rules = {
+      &determinism, &ordered_iteration, &decoder_hardening, &header_hygiene,
+      &float_eq,
+  };
+  return rules;
+}
+
+const Rule* find_rule(std::string_view id) {
+  for (const Rule* rule : all_rules()) {
+    if (id == rule->id()) return rule;
+  }
+  return nullptr;
+}
+
+}  // namespace ltefp::lint

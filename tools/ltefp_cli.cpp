@@ -18,6 +18,7 @@
 //   ltefp inspect --corpus corpus/
 //   ltefp train --operator Lab --out model.rf
 //   ltefp classify --model model.rf --trace yt.csv
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -66,7 +67,14 @@ class Args {
   }
   double number(const std::string& name, double fallback) const {
     const auto v = get(name);
-    return v ? std::stod(*v) : fallback;
+    if (!v) return fallback;
+    double parsed = 0.0;
+    const char* end = v->data() + v->size();
+    const auto [ptr, ec] = std::from_chars(v->data(), end, parsed);
+    if (ec != std::errc{} || ptr != end) {
+      throw std::runtime_error("--" + name + ": expected a number, got '" + *v + "'");
+    }
+    return parsed;
   }
 
  private:
@@ -332,7 +340,13 @@ int main(int argc, char** argv) {
   try {
     const Args args(argc, argv, 2);
     if (const auto threads = args.get("threads")) {
-      set_thread_count(static_cast<int>(std::stol(*threads)));
+      int n = 0;
+      const char* end = threads->data() + threads->size();
+      const auto [ptr, ec] = std::from_chars(threads->data(), end, n);
+      if (ec != std::errc{} || ptr != end) {
+        throw std::runtime_error("--threads: expected an integer, got '" + *threads + "'");
+      }
+      set_thread_count(n);
     }
     if (command == "collect") return cmd_collect(args);
     if (command == "record") return cmd_record(args);
