@@ -12,6 +12,8 @@
 //   --threads N   pool size for the *Par benchmarks' parallel stages
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -218,6 +220,52 @@ void BM_Dtw(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dtw)->Arg(60)->Arg(180)->Arg(600);
+
+/// Structured candidate corpus for the pruned-search benchmark: families
+/// of periodic series at widely spread amplitudes, like app frame-count
+/// series from different traffic volumes. The spread is what a lower-bound
+/// cascade exploits — most candidates are provably far from the query.
+std::vector<std::vector<double>> bestmatch_corpus(std::size_t count, std::size_t len,
+                                                  Rng& rng) {
+  std::vector<std::vector<double>> corpus(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    const double amp = 3.0 * std::pow(1.7, static_cast<double>(c % 10));
+    const double period = 45.0 + 14.0 * static_cast<double>(c % 4);
+    const double phase = rng.uniform(0.0, period);
+    auto& s = corpus[c];
+    s.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const double base =
+          amp * (1.0 + std::sin((static_cast<double>(i) + phase) * 6.28318530717958647692 /
+                                period));
+      s[i] = std::max(0.0, base + rng.normal(0.0, amp * 0.08));
+    }
+  }
+  return corpus;
+}
+
+void BM_DtwBestMatch(benchmark::State& state) {
+  Rng rng(11);
+  auto corpus = bestmatch_corpus(64, 180, rng);
+  // The query is a re-noised take of one corpus member: a strong true
+  // match exists, everything else should fall to the bound cascade.
+  std::vector<double> query = corpus[37];
+  for (auto& v : query) v = std::max(0.0, v + rng.normal(0.0, 1.0));
+  dtw::SearchOptions options;
+  options.dtw.band = 22;
+  options.prune = state.range(0) != 0;
+  dtw::SearchStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::best_match(query, corpus, options, &stats));
+  }
+  state.counters["full_dp"] = static_cast<double>(stats.full_dp);
+  state.counters["pruned_frac"] =
+      stats.candidates > 0
+          ? static_cast<double>(stats.pruned() + stats.short_circuits) /
+                static_cast<double>(stats.candidates)
+          : 0.0;
+}
+BENCHMARK(BM_DtwBestMatch)->Arg(0)->Arg(1);
 
 void BM_RandomForestTrain(benchmark::State& state) {
   Rng rng(3);

@@ -10,6 +10,7 @@
 #include "bench/bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "dtw/dtw.hpp"
 
 using namespace ltefp;
 
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   ltefp::bench::configure_threads(argc, argv);
   const ltefp::bench::WallClock clock;
   const bench::Scale scale = bench::scale_for(bench::quick_mode(argc, argv));
+  dtw::reset_kernel_counters();
 
   const apps::AppId kApps[] = {apps::AppId::kFacebookMessenger, apps::AppId::kWhatsApp,
                                apps::AppId::kTelegram,          apps::AppId::kFacebookCall,
@@ -52,6 +54,11 @@ int main(int argc, char** argv) {
   std::printf("%s",
               table.render("Table VI - DTW similarity scores D(T_w, T_a) of paired traces")
                   .c_str());
+  const dtw::KernelCounters dp = dtw::kernel_counters();
+  std::printf("dtw kernel: %llu DP calls, %llu band cells, %llu abandoned\n",
+              static_cast<unsigned long long>(dp.dp_calls),
+              static_cast<unsigned long long>(dp.dp_cells),
+              static_cast<unsigned long long>(dp.dp_abandoned));
   clock.report("bench_table6");
   return 0;
 }

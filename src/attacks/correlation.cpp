@@ -152,6 +152,23 @@ std::vector<double> trace_similarity_matrix(std::span<const sniffer::Trace> trac
   return dtw::similarity_matrix(series, options);
 }
 
+CandidateRanking rank_candidate_contacts(const sniffer::Trace& target,
+                                         std::span<const sniffer::Trace> candidates,
+                                         TimeMs origin, TimeMs t_w, TimeMs duration,
+                                         std::size_t k) {
+  const auto bins = static_cast<std::size_t>(std::max<TimeMs>(1, duration / t_w));
+  dtw::SearchOptions options;
+  options.dtw.band = static_cast<int>(std::max<std::size_t>(4, bins / 8));
+  const auto query = direction_series(target, lte::Direction::kUplink, origin, t_w, bins);
+  std::vector<std::vector<double>> series(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    series[i] = direction_series(candidates[i], lte::Direction::kDownlink, origin, t_w, bins);
+  }
+  CandidateRanking ranking;
+  ranking.matches = dtw::top_k(query, series, k, options, &ranking.stats);
+  return ranking;
+}
+
 SimilarityStats measure_similarity(apps::AppId app, int runs, const CorrelationConfig& config) {
   if (runs <= 0) return {};
   // Each run's seed is a pure function of (config seed, run index), so the

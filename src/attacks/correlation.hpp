@@ -14,6 +14,7 @@
 
 #include "apps/app_id.hpp"
 #include "common/sim_time.hpp"
+#include "dtw/dtw.hpp"
 #include "features/dataset.hpp"
 #include "lte/types.hpp"
 #include "ml/logreg.hpp"
@@ -75,5 +76,25 @@ features::FeatureVector similarity_features(const sniffer::Trace& a, const sniff
 /// similarity_matrix); output is bit-identical at any thread count.
 std::vector<double> trace_similarity_matrix(std::span<const sniffer::Trace> traces,
                                             TimeMs origin, TimeMs t_w, TimeMs duration);
+
+/// Result of a pruned candidate scan: the k best matches (descending
+/// similarity, ties to the lower index) plus where the lower-bound cascade
+/// spent its evaluations.
+struct CandidateRanking {
+  std::vector<dtw::Match> matches;
+  dtw::SearchStats stats;
+};
+
+/// Ranks candidate victims against one target: the target's uplink series
+/// vs each candidate's downlink series (when the target talks, their
+/// uplink mirrors the contact's downlink — the same cross-direction signal
+/// similarity_features uses). Runs on the pruned candidate-search engine
+/// (dtw::top_k): most candidates are rejected by the LB_Kim/LB_Keogh
+/// cascade or an early-abandoned DP, and the returned ranking is
+/// bit-identical to scoring every candidate in full.
+CandidateRanking rank_candidate_contacts(const sniffer::Trace& target,
+                                         std::span<const sniffer::Trace> candidates,
+                                         TimeMs origin, TimeMs t_w, TimeMs duration,
+                                         std::size_t k = 1);
 
 }  // namespace ltefp::attacks

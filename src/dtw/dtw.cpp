@@ -1,80 +1,327 @@
 #include "dtw/dtw.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <numeric>
 #include <vector>
 
+// SSE2 is part of the x86-64 baseline ABI, so the vector path below needs
+// no extra compile flags and no runtime dispatch there; other
+// architectures take the portable scalar loop.
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define LTEFP_DTW_SSE2 1
+#endif
+
 #include "common/parallel.hpp"
+#include "dtw/envelope.hpp"
 
 namespace ltefp::dtw {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kMaxDistance = std::numeric_limits<double>::max();
+
+std::atomic<std::uint64_t> g_dp_calls{0};
+std::atomic<std::uint64_t> g_dp_cells{0};
+std::atomic<std::uint64_t> g_dp_abandoned{0};
+
+/// Effective Sakoe-Chiba half-width: at least |n - m| so a path exists.
+long long effective_band(int band, std::size_t n, std::size_t m) {
+  if (band < 0) return -1;
+  return std::max<long long>(band, std::llabs(static_cast<long long>(n) -
+                                              static_cast<long long>(m)));
+}
+
+struct KernelOut {
+  double raw = 0.0;       // accumulated cost at (n, m)
+  double path_len = 0.0;  // cells of the optimal path
+  bool reachable = false;
+  bool abandoned = false;
+};
+
+/// take ? x : y through an integer mask — guaranteed branchless (the
+/// compiler's own if-conversion of a ternary is not), so a data-dependent
+/// select never costs a pipeline flush in the DP inner loop.
+inline double bit_select(bool take, double x, double y) {
+  std::uint64_t xb, yb;
+  std::memcpy(&xb, &x, sizeof xb);
+  std::memcpy(&yb, &y, sizeof yb);
+  const std::uint64_t mask = 0ULL - static_cast<std::uint64_t>(take);
+  const std::uint64_t out = (xb & mask) | (yb & ~mask);
+  double r;
+  std::memcpy(&r, &out, sizeof r);
+  return r;
+}
+
+/// The banded DP, evaluated one ANTI-DIAGONAL (constant i+j) at a time
+/// over the workspace's flat diagonal buffers. `band` must be the
+/// EFFECTIVE half-width (>= |n-m|; effective_band guarantees this — it
+/// keeps every diagonal's in-band interval non-empty, which the sentinel
+/// scheme below relies on), or < 0 for unconstrained.
+///
+/// Why diagonals and not rows: a row-major inner loop carries curr[j-1]
+/// through the three-way min, a serial minsd+addsd dependency chain that
+/// caps throughput at ~8 cycles per cell (or worse once the data-dependent
+/// select branches start mispredicting on real corpora). Cells on one
+/// anti-diagonal are mutually independent — cell (i, d-i) reads only
+/// diagonals d-1 (up, left) and d-2 (diag) — so the inner loop has no
+/// loop-carried dependency at all: selects if-convert to branchless
+/// cmov/blend and the FP latency overlaps across the whole band width.
+/// Each cell still computes |a_i - b_j| + min(diag, up, left) with the
+/// same strict-< tie order (diagonal, then up, then left) as the row
+/// form, so every cell value — and therefore every distance and path
+/// length — is reproduced bit-for-bit.
+///
+/// Band bookkeeping: on diagonal d the in-band cells form one contiguous
+/// i-interval [lo, hi] whose edges advance by at most one per diagonal, so
+/// they are carried across diagonals (amortised O(1)) and one +inf
+/// sentinel on each side of the interval makes every stale buffer cell
+/// read as unreachable — no full fills, no allocation.
+///
+/// Early abandoning: when cutoff < inf, every warping path must cross
+/// diagonal d or d-1 (path steps advance i+j by 1 or 2), and costs along a
+/// path are non-decreasing, so min over the last two diagonals is a lower
+/// bound on the final accumulated cost. Dividing by the maximum path
+/// length and cutoff_scale (both divisions monotone in IEEE arithmetic)
+/// lower-bounds the final reported key, and once that exceeds `cutoff` no
+/// continuation can matter — an abandon never contradicts a completed run.
+KernelOut banded_kernel(std::span<const double> a, std::span<const double> b, long long band,
+                        double cutoff, double cutoff_scale, double max_path,
+                        DtwWorkspace& ws) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  ws.ensure(n);
+  double* d2 = ws.cost_a.data();  // diagonal d-2
+  double* d1 = ws.cost_b.data();  // diagonal d-1
+  double* d0 = ws.cost_c.data();  // diagonal being filled
+  double* l2 = ws.len_a.data();
+  double* l1 = ws.len_b.data();
+  double* l0 = ws.len_c.data();
+  const double* av = a.data();
+  const double* bv = b.data();
+
+  // Frontier: only cell (0,0) on diagonal 0 is a real origin; the rest of
+  // the d < 2 border is unreachable.
+  d2[0] = 0.0;
+  l2[0] = 0.0;
+  d2[1] = kInf;
+  d1[0] = kInf;
+  d1[1] = kInf;
+  d1[2] = kInf;
+
+  const bool bounded = cutoff < kInf;
+  long long lo_band = 1;  // carried band edges (monotone in d)
+  long long hi_band = 0;
+  double min_d1 = kInf;  // min cost over the previous diagonal
+  std::uint64_t cells = 0;
+  bool abandoned = false;
+
+  for (std::size_t d = 2; d <= n + m; ++d) {
+    std::size_t lo = d > m ? d - m : 1;
+    std::size_t hi = std::min(n, d - 1);
+    if (band >= 0) {
+      // In-band on diagonal d: center(i)-band <= d-i <= center(i)+band
+      // with center(i) = i*m/n, exactly the row-form membership test.
+      // d-i-center(i) is strictly decreasing in i, so the in-band set is
+      // one interval; both its edges only ever advance as d grows.
+      if (lo_band < static_cast<long long>(lo)) lo_band = static_cast<long long>(lo);
+      while (lo_band <= static_cast<long long>(hi) &&
+             static_cast<long long>(d) - lo_band >
+                 lo_band * static_cast<long long>(m) / static_cast<long long>(n) + band) {
+        ++lo_band;
+      }
+      lo = static_cast<std::size_t>(lo_band);
+      while (hi_band < static_cast<long long>(n) &&
+             static_cast<long long>(d) - (hi_band + 1) >=
+                 (hi_band + 1) * static_cast<long long>(m) / static_cast<long long>(n) -
+                     band) {
+        ++hi_band;
+      }
+      hi = std::min(hi, static_cast<std::size_t>(hi_band));
+    }
+
+    // Every cell evaluates |a_i - b_j| + min(diag, up, left), path length
+    // following the winner with the strict-< tie order diagonal -> up ->
+    // left; the lane math below is that exact expression, two cells at a
+    // time, with mask blends instead of branches.
+    std::size_t i = lo;
+#if LTEFP_DTW_SSE2
+    const __m128d sign_bit = _mm_set1_pd(-0.0);
+    const __m128d one = _mm_set1_pd(1.0);
+    for (; i + 1 <= hi; i += 2) {
+      const __m128d va = _mm_loadu_pd(av + (i - 1));
+      __m128d vb = _mm_loadu_pd(bv + (d - i - 2));  // cells walk b backwards
+      vb = _mm_shuffle_pd(vb, vb, 1);
+      const __m128d cost = _mm_andnot_pd(sign_bit, _mm_sub_pd(va, vb));
+      const __m128d diag = _mm_loadu_pd(d2 + (i - 1));
+      const __m128d up = _mm_loadu_pd(d1 + (i - 1));
+      const __m128d left = _mm_loadu_pd(d1 + i);
+      const __m128d len_dg = _mm_loadu_pd(l2 + (i - 1));
+      const __m128d len_up = _mm_loadu_pd(l1 + (i - 1));
+      const __m128d len_lf = _mm_loadu_pd(l1 + i);
+      const __m128d take_up = _mm_cmplt_pd(up, diag);
+      __m128d best = _mm_min_pd(up, diag);  // = up < diag ? up : diag
+      __m128d best_len =
+          _mm_or_pd(_mm_and_pd(take_up, len_up), _mm_andnot_pd(take_up, len_dg));
+      const __m128d take_left = _mm_cmplt_pd(left, best);
+      best = _mm_min_pd(left, best);
+      best_len =
+          _mm_or_pd(_mm_and_pd(take_left, len_lf), _mm_andnot_pd(take_left, best_len));
+      _mm_storeu_pd(d0 + i, _mm_add_pd(cost, best));
+      _mm_storeu_pd(l0 + i, _mm_add_pd(best_len, one));
+    }
+#endif
+    for (; i <= hi; ++i) {
+      const double cost = std::abs(av[i - 1] - bv[d - i - 1]);
+      const double diag = d2[i - 1];
+      const double up = d1[i - 1];
+      const double left = d1[i];
+      const bool take_up = up < diag;
+      double best = std::min(diag, up);  // = up < diag ? up : diag
+      double best_len = bit_select(take_up, l1[i - 1], l2[i - 1]);
+      const bool take_left = left < best;
+      best = std::min(best, left);
+      best_len = bit_select(take_left, l1[i], best_len);
+      d0[i] = cost + best;
+      l0[i] = best_len + 1.0;
+    }
+    d0[lo - 1] = kInf;
+    d0[hi + 1] = kInf;
+    cells += hi - lo + 1;
+
+    if (bounded) {
+      double min_d0 = kInf;
+      std::size_t r = lo;
+#if LTEFP_DTW_SSE2
+      __m128d vmin = _mm_set1_pd(kInf);
+      for (; r + 1 <= hi; r += 2) vmin = _mm_min_pd(vmin, _mm_loadu_pd(d0 + r));
+      min_d0 = std::min(_mm_cvtsd_f64(vmin),
+                        _mm_cvtsd_f64(_mm_unpackhi_pd(vmin, vmin)));
+#endif
+      for (; r <= hi; ++r) min_d0 = d0[r] < min_d0 ? d0[r] : min_d0;
+      const double reach = min_d0 < min_d1 ? min_d0 : min_d1;
+      if (d > 2 && (reach / max_path) / cutoff_scale > cutoff) {
+        abandoned = true;
+        break;
+      }
+      min_d1 = min_d0;
+    }
+
+    double* t = d2;
+    d2 = d1;
+    d1 = d0;
+    d0 = t;
+    t = l2;
+    l2 = l1;
+    l1 = l0;
+    l0 = t;
+  }
+
+  g_dp_calls.fetch_add(1, std::memory_order_relaxed);
+  g_dp_cells.fetch_add(cells, std::memory_order_relaxed);
+  KernelOut out;
+  if (abandoned) {
+    g_dp_abandoned.fetch_add(1, std::memory_order_relaxed);
+    out.abandoned = true;
+    return out;
+  }
+  // The final cell (n, m) sits at index n of the last diagonal, which the
+  // end-of-loop rotation just moved into d1.
+  if (d1[n] < kInf) {
+    out.reachable = true;
+    out.raw = d1[n];
+    out.path_len = l1[n];
+  }
+  return out;
+}
+
+DtwResult finish(const KernelOut& out, const DtwOptions& options) {
+  DtwResult result;
+  if (!out.reachable) {
+    result.distance = kMaxDistance;
+    return result;
+  }
+  result.path_length = static_cast<std::size_t>(out.path_len);
+  result.distance = options.normalize_by_path && out.path_len > 0.0
+                        ? out.raw / out.path_len
+                        : out.raw;
+  return result;
+}
+
+double sum_abs(std::span<const double> s) {
+  double total = 0.0;
+  for (const double v : s) total += std::abs(v);
+  return total;
+}
+
+/// series_similarity with the per-series mean-abs numerators precomputed —
+/// the cached form the pair loops use. The level check runs BEFORE the DP:
+/// all-zero (or empty) series short-circuit to similarity 0 without paying
+/// the quadratic kernel.
+double pair_similarity(std::span<const double> a, std::span<const double> b, double sum_a,
+                       double sum_b, const DtwOptions& options, DtwWorkspace& ws) {
+  if (a.empty() || b.empty()) return 0.0;
+  // Scale by the mean absolute level so similarity reflects *shape*
+  // agreement, not raw magnitude: sim = exp(-d / mean_level), which maps
+  // the realistic capture confounders (HARQ duplicates, sniffer clock
+  // skew, ambient device noise) onto the paper's observed (0.6, 0.95)
+  // operating range.
+  const double level = (sum_a + sum_b) / static_cast<double>(a.size() + b.size());
+  if (level <= 0.0) return 0.0;
+  const DtwResult r = dtw_distance(a, b, options, ws);
+  if (r.path_length == 0) return 0.0;
+  return similarity_from_distance(r.distance, level);
+}
+
+DtwWorkspace& thread_workspace() {
+  static thread_local DtwWorkspace ws;
+  return ws;
+}
 
 }  // namespace
 
 DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
+                       const DtwOptions& options, DtwWorkspace& workspace) {
+  if (a.empty() || b.empty()) {
+    DtwResult result;
+    result.distance = kMaxDistance;
+    return result;
+  }
+  const long long band = effective_band(options.band, a.size(), b.size());
+  const double max_path =
+      options.normalize_by_path ? static_cast<double>(a.size() + b.size() - 1) : 1.0;
+  return finish(banded_kernel(a, b, band, kInf, 1.0, max_path, workspace), options);
+}
+
+DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
                        const DtwOptions& options) {
-  DtwResult result;
-  const std::size_t n = a.size();
-  const std::size_t m = b.size();
-  if (n == 0 || m == 0) {
-    result.distance = std::numeric_limits<double>::max();
-    return result;
-  }
+  return dtw_distance(a, b, options, thread_workspace());
+}
 
-  // Effective band: at least |n - m| so a path exists.
-  long long band = options.band;
-  if (band >= 0) {
-    band = std::max<long long>(band, std::llabs(static_cast<long long>(n) -
-                                                static_cast<long long>(m)));
+PrunedDtwResult dtw_distance_pruned(std::span<const double> a, std::span<const double> b,
+                                    const DtwOptions& options, double cutoff,
+                                    double cutoff_scale, DtwWorkspace& workspace) {
+  PrunedDtwResult out;
+  if (a.empty() || b.empty()) {
+    out.result.distance = kMaxDistance;
+    return out;
   }
-
-  // Two-row DP over accumulated cost; parallel rows track path length.
-  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
-  std::vector<std::size_t> prev_len(m + 1, 0), curr_len(m + 1, 0);
-  prev[0] = 0.0;
-
-  for (std::size_t i = 1; i <= n; ++i) {
-    std::fill(curr.begin(), curr.end(), kInf);
-    curr[0] = kInf;
-    std::size_t j_lo = 1, j_hi = m;
-    if (band >= 0) {
-      const long long center = static_cast<long long>(i) * static_cast<long long>(m) /
-                               static_cast<long long>(n);
-      j_lo = static_cast<std::size_t>(std::max<long long>(1, center - band));
-      j_hi = static_cast<std::size_t>(std::min<long long>(static_cast<long long>(m), center + band));
-    }
-    for (std::size_t j = j_lo; j <= j_hi; ++j) {
-      const double cost = std::abs(a[i - 1] - b[j - 1]);  // Euclidean in 1-D
-      double best = prev[j - 1];
-      std::size_t best_len = prev_len[j - 1];
-      if (prev[j] < best) {
-        best = prev[j];
-        best_len = prev_len[j];
-      }
-      if (curr[j - 1] < best) {
-        best = curr[j - 1];
-        best_len = curr_len[j - 1];
-      }
-      if (best == kInf) continue;
-      curr[j] = cost + best;
-      curr_len[j] = best_len + 1;
-    }
-    std::swap(prev, curr);
-    std::swap(prev_len, curr_len);
+  const long long band = effective_band(options.band, a.size(), b.size());
+  const double max_path =
+      options.normalize_by_path ? static_cast<double>(a.size() + b.size() - 1) : 1.0;
+  const double scale = cutoff_scale > 0.0 ? cutoff_scale : 1.0;
+  const KernelOut k = banded_kernel(a, b, band, cutoff, scale, max_path, workspace);
+  if (k.abandoned) {
+    out.abandoned = true;
+    out.result.distance = kMaxDistance;
+    return out;
   }
-
-  if (prev[m] == kInf) {
-    result.distance = std::numeric_limits<double>::max();
-    return result;
-  }
-  result.path_length = prev_len[m];
-  result.distance = options.normalize_by_path && result.path_length > 0
-                        ? prev[m] / static_cast<double>(result.path_length)
-                        : prev[m];
-  return result;
+  out.result = finish(k, options);
+  return out;
 }
 
 double similarity_from_distance(double distance, double scale) {
@@ -82,24 +329,38 @@ double similarity_from_distance(double distance, double scale) {
   return std::exp(-distance / scale);
 }
 
+double series_similarity(std::span<const double> a, std::span<const double> b,
+                         const DtwOptions& options) {
+  return pair_similarity(a, b, sum_abs(a), sum_abs(b), options, thread_workspace());
+}
+
 std::vector<double> similarity_matrix(std::span<const std::vector<double>> series,
                                       const DtwOptions& options) {
   const std::size_t n = series.size();
   std::vector<double> matrix(n * n, 0.0);
-  // Upper-triangle pair k -> (i, j), i <= j. Each task owns slots (i,j)
-  // and (j,i); no two tasks share a slot.
-  const std::size_t pairs = n * (n + 1) / 2;
-  parallel_for(pairs, 1, [&](std::size_t begin, std::size_t end) {
+  if (n == 0) return matrix;
+  // Cached once per series instead of once per pair: the mean-abs level
+  // numerators the similarity scaling divides by.
+  std::vector<double> sums(n);
+  for (std::size_t i = 0; i < n; ++i) sums[i] = sum_abs(series[i]);
+  // Flattened upper-triangle row offsets: offsets[i] is the pair index of
+  // (i, i), so task dispatch inverts k -> (i, j) with one binary search
+  // per chunk instead of a linear row scan per pair.
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + (n - i);
+  const std::size_t pairs = offsets[n];
+  // Chunked so each worker amortises one workspace across many pairs.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, pairs / (8 * static_cast<std::size_t>(thread_count())));
+  // Each task owns slots (i,j) and (j,i); no two tasks share a slot.
+  parallel_for(pairs, chunk, [&](std::size_t begin, std::size_t end) {
+    DtwWorkspace ws;
+    std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(offsets.begin(), offsets.end(), begin) - offsets.begin() - 1);
     for (std::size_t k = begin; k < end; ++k) {
-      // Invert k = i*n - i*(i-1)/2 + (j - i) by scanning rows: cheap next
-      // to the O(len²) DTW each cell costs.
-      std::size_t i = 0, row_start = 0;
-      while (row_start + (n - i) <= k) {
-        row_start += n - i;
-        ++i;
-      }
-      const std::size_t j = i + (k - row_start);
-      const double sim = series_similarity(series[i], series[j], options);
+      while (offsets[i + 1] <= k) ++i;  // advance row; amortised O(1)
+      const std::size_t j = i + (k - offsets[i]);
+      const double sim = pair_similarity(series[i], series[j], sums[i], sums[j], options, ws);
       matrix[i * n + j] = sim;
       matrix[j * n + i] = sim;
     }
@@ -107,21 +368,167 @@ std::vector<double> similarity_matrix(std::span<const std::vector<double>> serie
   return matrix;
 }
 
-double series_similarity(std::span<const double> a, std::span<const double> b,
-                         const DtwOptions& options) {
-  const DtwResult r = dtw_distance(a, b, options);
-  if (r.path_length == 0) return 0.0;
-  // Scale by the mean absolute level so similarity reflects *shape*
-  // agreement, not raw magnitude: sim = exp(-d / mean_level), which maps
-  // the realistic capture confounders (HARQ duplicates, sniffer clock
-  // skew, ambient device noise) onto the paper's observed (0.6, 0.95)
-  // operating range.
-  double level = 0.0;
-  for (double v : a) level += std::abs(v);
-  for (double v : b) level += std::abs(v);
-  level /= static_cast<double>(a.size() + b.size());
-  if (level <= 0.0) return 0.0;
-  return similarity_from_distance(r.distance, level);
+// --- pruned candidate search ----------------------------------------------
+
+namespace {
+
+/// A candidate that survived to scoring. Ranking key is dist / level (what
+/// the similarity exponent negates): minimising the key maximises the
+/// similarity, and comparing keys instead of exp(-key) keeps winner
+/// selection exact even where libm's exp rounds two distinct keys to the
+/// same similarity.
+struct Scored {
+  double key = kInf;
+  double sim = 0.0;
+  double dist = kMaxDistance;
+  std::size_t index = kNoMatch;
+};
+
+/// Strict "ranks ahead of": lower key, ties to the lower index — the same
+/// winner an index-order brute-force scan with strict improvement picks.
+bool ranks_ahead(const Scored& x, const Scored& y) {
+  return x.key < y.key || (x.key == y.key && x.index < y.index);
+}
+
+/// Keeps `sel` the sorted k-best set under ranks_ahead.
+void insert_scored(std::vector<Scored>& sel, std::size_t k, const Scored& s) {
+  if (sel.size() == k) {
+    if (!ranks_ahead(s, sel.back())) return;
+    sel.pop_back();
+  }
+  sel.insert(std::lower_bound(sel.begin(), sel.end(), s, ranks_ahead), s);
+}
+
+}  // namespace
+
+std::vector<Match> top_k(std::span<const double> query,
+                         std::span<const std::vector<double>> candidates, std::size_t k,
+                         const SearchOptions& options, SearchStats* stats) {
+  SearchStats local;
+  SearchStats& st = stats ? *stats : local;
+  st = SearchStats{};
+  st.candidates = candidates.size();
+  if (k == 0 || candidates.empty()) return {};
+
+  const std::size_t n = candidates.size();
+  const std::size_t qn = query.size();
+  const double sum_q = sum_abs(query);
+
+  // O(1)-per-candidate precomputation: cached mean-abs levels and the
+  // LB_Kim endpoint bound, in key units (bound / level). Zero-level and
+  // empty pairs short-circuit to similarity 0 with no DP at all.
+  std::vector<double> level(n, 0.0);
+  std::vector<double> lb(n, kInf);
+  std::vector<unsigned char> shortcut(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cand = candidates[i];
+    if (qn == 0 || cand.empty()) {
+      shortcut[i] = 1;
+      continue;
+    }
+    const double lvl =
+        (sum_q + sum_abs(cand)) / static_cast<double>(qn + cand.size());
+    if (lvl <= 0.0) {
+      shortcut[i] = 1;
+      continue;
+    }
+    level[i] = lvl;
+    lb[i] = lb_kim(query, cand, options.dtw) / lvl;
+  }
+
+  // Screen candidates cheapest-looking first: ascending LB_Kim key, ties
+  // by index. The order only affects how fast the cutoff tightens — the
+  // admissible skip rules below keep the RESULT identical to evaluating
+  // everything (short-circuits sort last; their key is exactly +inf).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return lb[x] < lb[y] || (lb[x] == lb[y] && x < y);
+  });
+
+  DtwEnvelope query_env;
+  bool have_env = false;
+  std::vector<Scored> sel;
+  sel.reserve(std::min(k, n));
+  DtwWorkspace ws;
+
+  for (const std::size_t idx : order) {
+    if (shortcut[idx]) {
+      ++st.short_circuits;
+      insert_scored(sel, k, Scored{kInf, 0.0, kMaxDistance, idx});
+      continue;
+    }
+    const bool full = sel.size() == k;
+    // A candidate may be skipped only when it provably cannot enter the
+    // k-best set: its bound (<= its true key, see envelope.hpp) already
+    // ranks behind the current worst member, index tie included.
+    if (options.prune && full) {
+      const Scored& worst = sel.back();
+      double bound = lb[idx];
+      if (bound > worst.key || (bound == worst.key && idx > worst.index)) {
+        ++st.lb_kim_pruned;
+        continue;
+      }
+      const auto& cand = candidates[idx];
+      if (cand.size() == qn) {
+        if (!have_env) {
+          query_env = make_envelope(query, options.dtw.band);
+          have_env = true;
+        }
+        const double keogh = lb_keogh(cand, query_env, options.dtw) / level[idx];
+        if (keogh > bound) bound = keogh;
+        if (bound > worst.key || (bound == worst.key && idx > worst.index)) {
+          ++st.lb_keogh_pruned;
+          continue;
+        }
+      }
+    }
+    // Full DP, abandoning once the key provably exceeds the current worst
+    // key (a tie could still enter on a lower index, so only a STRICT
+    // exceedance abandons — dtw_distance_pruned's cutoff is strict).
+    const double cutoff = options.prune && full ? sel.back().key : kInf;
+    const PrunedDtwResult r =
+        dtw_distance_pruned(query, candidates[idx], options.dtw, cutoff, level[idx], ws);
+    if (r.abandoned) {
+      ++st.abandoned;
+      continue;
+    }
+    ++st.full_dp;
+    Scored s;
+    s.index = idx;
+    if (r.result.path_length > 0) {
+      s.dist = r.result.distance;
+      s.key = s.dist / level[idx];
+      s.sim = std::exp(-s.key);
+    }
+    insert_scored(sel, k, s);
+  }
+
+  std::vector<Match> out;
+  out.reserve(sel.size());
+  for (const Scored& s : sel) out.push_back(Match{s.index, s.sim, s.dist});
+  return out;
+}
+
+Match best_match(std::span<const double> query,
+                 std::span<const std::vector<double>> candidates,
+                 const SearchOptions& options, SearchStats* stats) {
+  const auto matches = top_k(query, candidates, 1, options, stats);
+  return matches.empty() ? Match{} : matches.front();
+}
+
+KernelCounters kernel_counters() {
+  KernelCounters c;
+  c.dp_calls = g_dp_calls.load(std::memory_order_relaxed);
+  c.dp_cells = g_dp_cells.load(std::memory_order_relaxed);
+  c.dp_abandoned = g_dp_abandoned.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_kernel_counters() {
+  g_dp_calls.store(0, std::memory_order_relaxed);
+  g_dp_cells.store(0, std::memory_order_relaxed);
+  g_dp_abandoned.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ltefp::dtw

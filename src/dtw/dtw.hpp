@@ -1,15 +1,29 @@
-// Dynamic Time Warping (paper Section VII-C, Equation 1).
+// Dynamic Time Warping (paper Section VII-C, Equation 1) and the exact
+// acceleration engine around it.
 //
 // The correlation attack compares two users' per-T_w frame-count series:
 // D(i,j) = d(i,j) + min(D(i-1,j-1), D(i-1,j), D(i,j-1)) with Euclidean
 // local cost, as in Berndt & Clifford. We additionally support a
 // Sakoe-Chiba band constraint and a path-length-normalised distance so
 // similarity scores are comparable across trace lengths.
+//
+// At corpus scale the attack is quadratic twice over (every pair is one
+// DTW, each DTW is O(L^2)), so the kernel here is built UCR-Suite style:
+// an allocation-free banded DP (evaluated along anti-diagonals, whose
+// cells are mutually independent and therefore SIMD-friendly) over a
+// reusable DtwWorkspace, early abandoning against a caller-supplied
+// cutoff at every DP frontier, and a cascade of
+// cheap lower bounds (envelope.hpp) that lets best_match / top_k skip most
+// full DP evaluations while returning bit-identical winners and distances
+// to brute force — the pruning is exact, never approximate.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
+
+#include "dtw/workspace.hpp"
 
 namespace ltefp::dtw {
 
@@ -30,6 +44,32 @@ struct DtwResult {
 DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
                        const DtwOptions& options = {});
 
+/// Same, but runs the DP in the caller's workspace — the allocation-free
+/// form the pair loops use. Results are bit-identical to the overload
+/// above (which keeps one workspace per thread internally).
+DtwResult dtw_distance(std::span<const double> a, std::span<const double> b,
+                       const DtwOptions& options, DtwWorkspace& workspace);
+
+struct PrunedDtwResult {
+  DtwResult result;
+  /// True when the DP was cut short because no continuation could reach
+  /// final `distance / cutoff_scale <= cutoff`; `result` is then the
+  /// empty-series sentinel (max distance, path_length 0).
+  bool abandoned = false;
+};
+
+/// Early-abandoning DTW: after each anti-diagonal, abandons as soon as the
+/// frontier proves the final distance must satisfy
+/// `distance / cutoff_scale > cutoff` (admissible — every warping path
+/// crosses one of the last two diagonals, costs are non-negative, the
+/// frontier minimum is divided by the maximum path length n+m-1, and IEEE
+/// division is monotone, so a completed run never contradicts an abandon).
+/// Pass cutoff = +infinity to disable abandoning; cutoff_scale is the
+/// per-pair similarity level for searches (1.0 for plain distance cutoffs).
+PrunedDtwResult dtw_distance_pruned(std::span<const double> a, std::span<const double> b,
+                                    const DtwOptions& options, double cutoff,
+                                    double cutoff_scale, DtwWorkspace& workspace);
+
 /// Maps a (path-normalised) DTW distance to a similarity score in (0, 1]:
 /// exp(-distance / scale). `scale` tunes the contrast; the attack
 /// calibrates it per series magnitude.
@@ -45,8 +85,71 @@ double series_similarity(std::span<const double> a, std::span<const double> b,
 /// the correlation attack's candidate-pair engine (Tables VI/VII at corpus
 /// scale). Symmetric: pairs (i <= j) are computed concurrently on the
 /// global pool, each task writing only its own mirrored slots, so the
-/// matrix is bit-identical at any thread count.
+/// matrix is bit-identical at any thread count. Per-series mean-abs levels
+/// are cached once per series (not once per pair), and each worker chunk
+/// reuses one DtwWorkspace.
 std::vector<double> similarity_matrix(std::span<const std::vector<double>> series,
                                       const DtwOptions& options = {});
+
+// --- pruned candidate search ---------------------------------------------
+
+/// Sentinel index for "no candidate" (empty candidate set).
+inline constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+struct Match {
+  std::size_t index = kNoMatch;
+  double similarity = 0.0;  // series_similarity of (query, candidates[index])
+  double distance = 0.0;    // its DTW distance (max double when undefined)
+};
+
+struct SearchOptions {
+  DtwOptions dtw;
+  /// false = evaluate every candidate with the full DP (the brute-force
+  /// reference the exactness tests pin pruned results against).
+  bool prune = true;
+};
+
+/// Where the candidate evaluations went. `candidates` always equals
+/// short_circuits + lb_kim_pruned + lb_keogh_pruned + abandoned + full_dp.
+struct SearchStats {
+  std::size_t candidates = 0;
+  std::size_t full_dp = 0;          // DPs run to completion
+  std::size_t lb_kim_pruned = 0;    // skipped by the O(1) endpoint bound
+  std::size_t lb_keogh_pruned = 0;  // skipped by the O(L) envelope bound
+  std::size_t abandoned = 0;        // DPs cut short by the best-so-far cutoff
+  std::size_t short_circuits = 0;   // empty series / zero level: similarity
+                                    // is 0 by definition, no DP needed
+  std::size_t pruned() const { return lb_kim_pruned + lb_keogh_pruned + abandoned; }
+};
+
+/// Highest-similarity candidate for `query` (ties broken by lowest index).
+/// Candidates are screened cheapest-bound-first — LB_Kim endpoints, then
+/// LB_Keogh against the query's Sakoe-Chiba envelope, then the early-
+/// abandoning DP against the best similarity so far — and the result is
+/// bit-identical to evaluating every candidate (SearchOptions::prune =
+/// false), at any thread count.
+Match best_match(std::span<const double> query,
+                 std::span<const std::vector<double>> candidates,
+                 const SearchOptions& options = {}, SearchStats* stats = nullptr);
+
+/// The k best candidates, ordered by descending similarity (ties by
+/// ascending index). Same exactness contract as best_match; pruning cuts
+/// against the current k-th best. Returns min(k, candidates.size())
+/// matches.
+std::vector<Match> top_k(std::span<const double> query,
+                         std::span<const std::vector<double>> candidates, std::size_t k,
+                         const SearchOptions& options = {}, SearchStats* stats = nullptr);
+
+// --- kernel counters ------------------------------------------------------
+
+/// Process-wide tallies of DP kernel work, for bench reporting (relaxed
+/// atomics; never part of any computed result).
+struct KernelCounters {
+  std::uint64_t dp_calls = 0;
+  std::uint64_t dp_cells = 0;      // band cells actually evaluated
+  std::uint64_t dp_abandoned = 0;  // calls cut short by a cutoff
+};
+KernelCounters kernel_counters();
+void reset_kernel_counters();
 
 }  // namespace ltefp::dtw

@@ -1,0 +1,84 @@
+#include "dtw/envelope.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltefp::dtw {
+namespace {
+
+/// Sliding-window extreme via a monotonic deque (Lemire's streaming
+/// min-max): every element is pushed and popped at most once, O(n) total
+/// regardless of the window radius.
+void sliding_extreme(std::span<const double> s, std::size_t radius, bool want_max,
+                     std::vector<double>& out) {
+  const std::size_t n = s.size();
+  out.resize(n);
+  std::vector<std::size_t> deque(n);
+  std::size_t head = 0, tail = 0, added = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t win_end = std::min(n - 1, i + radius);
+    for (; added <= win_end; ++added) {
+      while (tail > head && (want_max ? s[deque[tail - 1]] <= s[added]
+                                      : s[deque[tail - 1]] >= s[added])) {
+        --tail;
+      }
+      deque[tail++] = added;
+    }
+    const std::size_t win_begin = i > radius ? i - radius : 0;
+    while (deque[head] < win_begin) ++head;
+    out[i] = s[deque[head]];
+  }
+}
+
+/// Raw accumulated-cost bound -> DtwResult.distance units: divide by the
+/// maximum path length so the bound never exceeds the path-normalised
+/// distance (see envelope.hpp header comment for the admissibility
+/// argument).
+double derate(double raw, std::size_t n, std::size_t m, const DtwOptions& options) {
+  if (!options.normalize_by_path) return raw;
+  return raw / static_cast<double>(n + m - 1);
+}
+
+}  // namespace
+
+DtwEnvelope make_envelope(std::span<const double> series, int band) {
+  DtwEnvelope env;
+  env.band = band;
+  const std::size_t n = series.size();
+  if (n == 0) return env;
+  const std::size_t radius =
+      band < 0 ? n - 1 : std::min<std::size_t>(static_cast<std::size_t>(band), n - 1);
+  sliding_extreme(series, radius, /*want_max=*/true, env.upper);
+  sliding_extreme(series, radius, /*want_max=*/false, env.lower);
+  return env;
+}
+
+double lb_kim(std::span<const double> a, std::span<const double> b,
+              const DtwOptions& options) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  double raw = std::abs(a[0] - b[0]);
+  // The end cell is distinct from the start cell whenever the path has
+  // more than one cell; for 1x1 the single cell must not be counted twice.
+  if (n + m > 2) raw += std::abs(a[n - 1] - b[m - 1]);
+  return derate(raw, n, m, options);
+}
+
+double lb_keogh(std::span<const double> series, const DtwEnvelope& envelope,
+                const DtwOptions& options) {
+  const std::size_t n = series.size();
+  if (n == 0 || envelope.upper.size() != n) return 0.0;
+  double raw = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = series[i];
+    if (v > envelope.upper[i]) {
+      raw += v - envelope.upper[i];
+    } else if (v < envelope.lower[i]) {
+      raw += envelope.lower[i] - v;
+    }
+  }
+  return derate(raw, n, n, options);
+}
+
+}  // namespace ltefp::dtw

@@ -1,0 +1,49 @@
+// Sakoe-Chiba envelopes and the cascading lower bounds of the UCR-style
+// DTW candidate search (LB_Kim -> LB_Keogh -> early-abandoning DP).
+//
+// Both bounds are returned in the same units as DtwResult.distance: when
+// DtwOptions::normalize_by_path is set, the raw bound is derated by the
+// MAXIMUM warping-path length n+m-1. The true normalised distance divides
+// the (larger) accumulated cost by the ACTUAL path length (<= n+m-1), and
+// IEEE division is monotone, so bound <= distance holds as computed
+// doubles, not just in exact arithmetic — pruning on these bounds is
+// admissible bit-for-bit (pinned by tests/test_dtw_search.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dtw/dtw.hpp"
+
+namespace ltefp::dtw {
+
+/// Per-series upper/lower running extremes over the Sakoe-Chiba window:
+/// upper[i] = max(series[i-band .. i+band]), lower[i] = the min. Computed
+/// once per series (O(L) via monotonic deques) and reused against every
+/// candidate of the same length.
+struct DtwEnvelope {
+  std::vector<double> upper, lower;
+  int band = -1;  // radius the envelope was built for (-1 = unconstrained)
+};
+
+DtwEnvelope make_envelope(std::span<const double> series, int band);
+
+/// O(1) endpoint bound: every warping path starts at cell (1,1) and ends
+/// at (n,m), so it pays at least |a0-b0| + |a_end-b_end| (the single
+/// shared cell when both series have length 1). Valid for any pair of
+/// lengths. Empty series => 0 (no bound).
+double lb_kim(std::span<const double> a, std::span<const double> b,
+              const DtwOptions& options = {});
+
+/// O(L) envelope bound: each series[i] must align to at least one point of
+/// the envelope's source inside the band, paying at least its distance to
+/// the [lower[i], upper[i]] tube. Requires series.size() ==
+/// envelope.upper.size() and an envelope band covering the DP band (equal
+/// lengths keep the effective DP band at options.band, so an envelope
+/// built with the same band is always valid); returns 0 (no bound) on a
+/// size mismatch.
+double lb_keogh(std::span<const double> series, const DtwEnvelope& envelope,
+                const DtwOptions& options = {});
+
+}  // namespace ltefp::dtw

@@ -1,0 +1,45 @@
+// Reusable buffers for the banded DTW dynamic program (dtw.cpp).
+//
+// One workspace serves any number of sequential dtw_distance /
+// dtw_distance_pruned calls without reallocating: the six flat diagonal
+// buffers are sized once to the longest first series seen and only grow.
+// Before this existed, every pair evaluated by the correlation attack's
+// candidate engine paid four vector allocations plus a full-row fill per
+// DP row; the workspace plus the kernel's carried band windows remove both.
+//
+// Not thread-safe — give each worker its own instance (the pair loop in
+// similarity_matrix carries one per chunk; series_similarity keeps one per
+// thread).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ltefp::dtw {
+
+class DtwWorkspace {
+ public:
+  /// Grows the diagonal buffers to hold n+2 cells each (one sentinel slot
+  /// on each side of the band window). Called by the kernel on entry; a
+  /// no-op once the high-water mark is reached.
+  void ensure(std::size_t n) {
+    if (cost_a.size() < n + 2) {
+      cost_a.resize(n + 2);
+      cost_b.resize(n + 2);
+      cost_c.resize(n + 2);
+      len_a.resize(n + 2);
+      len_b.resize(n + 2);
+      len_c.resize(n + 2);
+    }
+  }
+
+  // Three accumulated-cost anti-diagonals and three path-length
+  // anti-diagonals (the DP recurrence reads two diagonals back). Path
+  // lengths are kept as doubles so the three-way min compiles to
+  // branch-free selects (they stay exact: lengths never exceed 2^53). The
+  // kernel rotates the a/b/c roles every diagonal; contents are scratch
+  // between calls.
+  std::vector<double> cost_a, cost_b, cost_c, len_a, len_b, len_c;
+};
+
+}  // namespace ltefp::dtw

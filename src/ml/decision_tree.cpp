@@ -76,13 +76,23 @@ int DecisionTree::build(const features::Dataset& data, std::vector<std::size_t>&
   double best_threshold = 0.0;
   double best_score = node_gini;  // must strictly improve
   std::vector<double> left_counts(counts.size());
+  std::vector<double> right_counts(counts.size());
+  node_labels_.resize(n);
+  node_values_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    node_labels_[i] = data.samples[indices[begin + i]].label;
+  }
 
   for (const std::size_t f : tried) {
-    // Sample candidate thresholds from this node's values.
+    // Gather this feature's node values once; the candidate loop below
+    // re-scans them threshold_candidates times, so it pays for flat
+    // arrays, not per-sample pointer chasing. Sample candidate thresholds
+    // from the node's observed range.
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = begin; i < end; ++i) {
-      const double v = data.samples[indices[i]].features[f];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = data.samples[indices[begin + i]].features[f];
+      node_values_[i] = v;
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
@@ -92,22 +102,20 @@ int DecisionTree::build(const features::Dataset& data, std::vector<std::size_t>&
     for (int c = 0; c < candidates; ++c) {
       // Midpoints between two random node values concentrate candidates
       // where the data mass is.
-      const double a = data.samples[indices[begin + rng_.index(n)]].features[f];
-      const double b = data.samples[indices[begin + rng_.index(n)]].features[f];
+      const double a = node_values_[rng_.index(n)];
+      const double b = node_values_[rng_.index(n)];
       const double threshold = a == b ? (a + lo + (hi - lo) * rng_.uniform()) / 2.0
                                       : (a + b) / 2.0;
       std::fill(left_counts.begin(), left_counts.end(), 0.0);
       double n_left = 0.0;
-      for (std::size_t i = begin; i < end; ++i) {
-        const auto& s = data.samples[indices[i]];
-        if (s.features[f] <= threshold) {
-          ++left_counts[static_cast<std::size_t>(s.label)];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (node_values_[i] <= threshold) {
+          ++left_counts[static_cast<std::size_t>(node_labels_[i])];
           ++n_left;
         }
       }
       const double n_right = static_cast<double>(n) - n_left;
       if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) continue;
-      std::vector<double> right_counts(counts.size());
       for (std::size_t k = 0; k < counts.size(); ++k) right_counts[k] = counts[k] - left_counts[k];
       const double score = (n_left * gini_from_counts(left_counts, n_left) +
                             n_right * gini_from_counts(right_counts, n_right)) /

@@ -78,6 +78,12 @@ class DecisionTree {
   Rng rng_;
   std::vector<Node> nodes_;
   int num_classes_ = 0;
+  // Split-search scratch, reused across nodes: the current node's labels
+  // and one feature's values, gathered once per (node, feature) so the
+  // threshold-candidate loop scans flat arrays instead of re-chasing
+  // indices[i] -> sample -> features[f] for every candidate.
+  std::vector<double> node_values_;
+  std::vector<int> node_labels_;
 };
 
 }  // namespace ltefp::ml

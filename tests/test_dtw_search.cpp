@@ -1,0 +1,404 @@
+// The exactness contract of the DTW acceleration engine (src/dtw/):
+// workspace reuse, the pruned kernel, the envelope lower bounds, and the
+// best_match / top_k candidate search must all reproduce the brute-force
+// answers BIT-identically — pruning may only change how much work is done,
+// never a single output double.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "dtw/dtw.hpp"
+#include "dtw/envelope.hpp"
+
+using namespace ltefp;
+
+namespace {
+
+std::vector<double> random_series(Rng& rng, std::size_t n, double scale) {
+  std::vector<double> s(n);
+  for (auto& v : s) v = rng.uniform(0.0, scale);
+  return s;
+}
+
+/// Candidate corpora with structure (amplitude families, shared period)
+/// plus pure noise — both shapes the search must stay exact on.
+std::vector<std::vector<double>> structured_corpus(Rng& rng, std::size_t count,
+                                                   std::size_t len) {
+  std::vector<std::vector<double>> corpus(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    const double amp = 2.0 * std::pow(1.6, static_cast<double>(c % 8));
+    const double period = 20.0 + 7.0 * static_cast<double>(c % 3);
+    auto& s = corpus[c];
+    s.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const double base =
+          amp * (1.0 + std::sin(static_cast<double>(i) * 6.283185307179586 / period));
+      s[i] = std::max(0.0, base + rng.normal(0.0, amp * 0.1));
+    }
+  }
+  return corpus;
+}
+
+/// Scores every candidate the slow way (series_similarity, no pruning
+/// machinery at all) and picks the winner by (similarity desc, index asc).
+dtw::Match naive_best(const std::vector<double>& query,
+                      const std::vector<std::vector<double>>& candidates,
+                      const dtw::DtwOptions& options) {
+  dtw::Match best;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double sim = dtw::series_similarity(query, candidates[i], options);
+    if (best.index == dtw::kNoMatch || sim > best.similarity) {
+      best.index = i;
+      best.similarity = sim;
+      const auto r = dtw::dtw_distance(query, candidates[i], options);
+      best.distance = query.empty() || candidates[i].empty() || sim == 0.0
+                          ? std::numeric_limits<double>::max()
+                          : r.distance;
+    }
+  }
+  return best;
+}
+
+struct ThreadGuard {
+  ~ThreadGuard() { set_thread_count(0); }
+};
+
+}  // namespace
+
+// --- kernel and workspace -------------------------------------------------
+
+TEST(DtwWorkspace, ExplicitWorkspaceMatchesImplicit) {
+  Rng rng(42);
+  dtw::DtwWorkspace ws;
+  for (const auto& [na, nb] : {std::pair<std::size_t, std::size_t>{40, 40},
+                              {40, 25},
+                              {7, 80},
+                              {1, 1},
+                              {200, 3}}) {
+    const auto a = random_series(rng, na, 30.0);
+    const auto b = random_series(rng, nb, 30.0);
+    for (const int band : {-1, 0, 3, 10}) {
+      dtw::DtwOptions options;
+      options.band = band;
+      const auto plain = dtw::dtw_distance(a, b, options);
+      // Same workspace reused across every (length, band) combination.
+      const auto reused = dtw::dtw_distance(a, b, options, ws);
+      EXPECT_EQ(plain.distance, reused.distance);
+      EXPECT_EQ(plain.path_length, reused.path_length);
+    }
+  }
+}
+
+TEST(DtwPruned, InfiniteCutoffReproducesFullDp) {
+  Rng rng(7);
+  dtw::DtwWorkspace ws;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_series(rng, 30 + static_cast<std::size_t>(trial), 40.0);
+    const auto b = random_series(rng, 50 - static_cast<std::size_t>(trial), 40.0);
+    dtw::DtwOptions options;
+    options.band = trial % 7;
+    const auto full = dtw::dtw_distance(a, b, options);
+    const auto pruned = dtw::dtw_distance_pruned(
+        a, b, options, std::numeric_limits<double>::infinity(), 1.0, ws);
+    EXPECT_FALSE(pruned.abandoned);
+    EXPECT_EQ(full.distance, pruned.result.distance);
+    EXPECT_EQ(full.path_length, pruned.result.path_length);
+  }
+}
+
+TEST(DtwPruned, AbandonIsAdmissible) {
+  // Whenever the kernel abandons, the true distance really was above the
+  // cutoff; whenever it completes, the result is the full-DP result.
+  Rng rng(19);
+  dtw::DtwWorkspace ws;
+  int abandoned = 0, completed = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_series(rng, 40, 30.0);
+    const auto b = random_series(rng, 40, 30.0);
+    dtw::DtwOptions options;
+    options.band = 6;
+    const auto full = dtw::dtw_distance(a, b, options);
+    const double scale = 1.0 + rng.uniform(0.0, 20.0);
+    const double cutoff = rng.uniform(0.0, 2.0) * full.distance / scale;
+    const auto pruned = dtw::dtw_distance_pruned(a, b, options, cutoff, scale, ws);
+    if (pruned.abandoned) {
+      ++abandoned;
+      EXPECT_GT(full.distance / scale, cutoff);
+    } else {
+      ++completed;
+      EXPECT_EQ(full.distance, pruned.result.distance);
+      EXPECT_EQ(full.path_length, pruned.result.path_length);
+    }
+  }
+  // The cutoffs straddle the true distances, so both branches must occur.
+  EXPECT_GT(abandoned, 10);
+  EXPECT_GT(completed, 10);
+}
+
+// --- lower bounds ---------------------------------------------------------
+
+TEST(DtwEnvelope, BoundsEncloseTheSeries) {
+  Rng rng(3);
+  const auto s = random_series(rng, 64, 100.0);
+  for (const int band : {0, 1, 5, 63, 200, -1}) {
+    const auto env = dtw::make_envelope(s, band);
+    ASSERT_EQ(env.upper.size(), s.size());
+    ASSERT_EQ(env.lower.size(), s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_LE(env.lower[i], s[i]);
+      EXPECT_GE(env.upper[i], s[i]);
+    }
+  }
+}
+
+TEST(DtwEnvelope, LowerBoundsNeverExceedTrueDistance) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 20 + static_cast<std::size_t>(trial % 30);
+    const auto a = random_series(rng, n, 50.0);
+    const auto b = random_series(rng, n, 50.0);
+    dtw::DtwOptions options;
+    options.band = 1 + trial % 9;
+    const double dist = dtw::dtw_distance(a, b, options).distance;
+    EXPECT_LE(dtw::lb_kim(a, b, options), dist);
+    const auto env = dtw::make_envelope(a, options.band);
+    EXPECT_LE(dtw::lb_keogh(b, env, options), dist);
+  }
+}
+
+TEST(DtwEnvelope, KimBoundHoldsAcrossLengthMismatch) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_series(rng, 5 + static_cast<std::size_t>(trial), 50.0);
+    const auto b = random_series(rng, 60 - static_cast<std::size_t>(trial), 50.0);
+    dtw::DtwOptions options;
+    options.band = trial % 5;  // may be < |n - m|; the DP widens, LB_Kim holds
+    EXPECT_LE(dtw::lb_kim(a, b, options), dtw::dtw_distance(a, b, options).distance);
+  }
+}
+
+// --- candidate search: pruned == brute force, bit for bit -----------------
+
+TEST(DtwSearch, BestMatchIsBitIdenticalToBruteForce) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t len = 40 + static_cast<std::size_t>(8 * trial);
+    auto corpus = trial % 2 == 0 ? structured_corpus(rng, 24, len)
+                                 : std::vector<std::vector<double>>();
+    if (corpus.empty()) {
+      for (int i = 0; i < 24; ++i) corpus.push_back(random_series(rng, len, 40.0));
+    }
+    auto query = corpus[static_cast<std::size_t>(trial * 2) % corpus.size()];
+    for (auto& v : query) v = std::max(0.0, v + rng.normal(0.0, 0.5));
+
+    dtw::SearchOptions pruned;
+    pruned.dtw.band = static_cast<int>(len / 8);
+    dtw::SearchOptions brute = pruned;
+    brute.prune = false;
+
+    dtw::SearchStats ps, bs;
+    const auto fast = dtw::best_match(query, corpus, pruned, &ps);
+    const auto slow = dtw::best_match(query, corpus, brute, &bs);
+    const auto naive = naive_best(query, corpus, pruned.dtw);
+
+    EXPECT_EQ(fast.index, slow.index);
+    EXPECT_EQ(fast.similarity, slow.similarity);
+    EXPECT_EQ(fast.distance, slow.distance);
+    EXPECT_EQ(fast.index, naive.index);
+    EXPECT_EQ(fast.similarity, naive.similarity);
+    EXPECT_EQ(bs.full_dp, corpus.size());  // brute force evaluates everything
+    EXPECT_EQ(ps.candidates, ps.full_dp + ps.lb_kim_pruned + ps.lb_keogh_pruned +
+                                 ps.abandoned + ps.short_circuits);
+  }
+}
+
+TEST(DtwSearch, TopKIsBitIdenticalToBruteForce) {
+  Rng rng(29);
+  const auto corpus = structured_corpus(rng, 30, 60);
+  auto query = corpus[11];
+  for (auto& v : query) v = std::max(0.0, v + rng.normal(0.0, 0.4));
+
+  dtw::SearchOptions pruned;
+  pruned.dtw.band = 8;
+  dtw::SearchOptions brute = pruned;
+  brute.prune = false;
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                              corpus.size(), corpus.size() + 5}) {
+    const auto fast = dtw::top_k(query, corpus, k, pruned);
+    const auto slow = dtw::top_k(query, corpus, k, brute);
+    ASSERT_EQ(fast.size(), std::min(k, corpus.size())) << "k=" << k;
+    ASSERT_EQ(fast.size(), slow.size()) << "k=" << k;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].index, slow[i].index) << "k=" << k << " rank=" << i;
+      EXPECT_EQ(fast[i].similarity, slow[i].similarity) << "k=" << k << " rank=" << i;
+      EXPECT_EQ(fast[i].distance, slow[i].distance) << "k=" << k << " rank=" << i;
+    }
+    // Descending similarity, ties by ascending index.
+    for (std::size_t i = 1; i < fast.size(); ++i) {
+      EXPECT_TRUE(fast[i - 1].similarity > fast[i].similarity ||
+                  (fast[i - 1].similarity == fast[i].similarity &&
+                   fast[i - 1].index < fast[i].index));
+    }
+  }
+}
+
+TEST(DtwSearch, StructuredCorpusPrunesMostCandidates) {
+  Rng rng(31);
+  const auto corpus = structured_corpus(rng, 64, 180);
+  auto query = corpus[37];
+  for (auto& v : query) v = std::max(0.0, v + rng.normal(0.0, 1.0));
+  dtw::SearchOptions options;
+  options.dtw.band = 22;
+  dtw::SearchStats stats;
+  const auto fast = dtw::best_match(query, corpus, options, &stats);
+
+  dtw::SearchOptions brute = options;
+  brute.prune = false;
+  const auto slow = dtw::best_match(query, corpus, brute);
+  EXPECT_EQ(fast.index, slow.index);
+  EXPECT_EQ(fast.similarity, slow.similarity);
+  EXPECT_EQ(fast.distance, slow.distance);
+
+  // The acceptance bar: at least half of the full DP evaluations skipped.
+  EXPECT_GE(stats.pruned() + stats.short_circuits, stats.candidates / 2)
+      << "full_dp=" << stats.full_dp << " kim=" << stats.lb_kim_pruned
+      << " keogh=" << stats.lb_keogh_pruned << " abandoned=" << stats.abandoned;
+}
+
+// --- edge cases -----------------------------------------------------------
+
+TEST(DtwSearch, EmptyCandidateListReturnsNoMatch) {
+  const std::vector<double> query{1.0, 2.0};
+  const std::vector<std::vector<double>> none;
+  const auto match = dtw::best_match(query, none);
+  EXPECT_EQ(match.index, dtw::kNoMatch);
+  EXPECT_EQ(match.similarity, 0.0);
+  EXPECT_TRUE(dtw::top_k(query, none, 3).empty());
+  EXPECT_TRUE(dtw::top_k(query, none, 0).empty());
+}
+
+TEST(DtwSearch, EmptyAndZeroSeriesShortCircuitWithoutDp) {
+  Rng rng(37);
+  // Empty query: every candidate is similarity 0 by definition.
+  {
+    const std::vector<double> query;
+    std::vector<std::vector<double>> corpus{random_series(rng, 10, 5.0),
+                                            random_series(rng, 10, 5.0)};
+    dtw::SearchStats stats;
+    const auto match = dtw::best_match(query, corpus, {}, &stats);
+    EXPECT_EQ(match.index, 0u);  // ties broken by lowest index
+    EXPECT_EQ(match.similarity, 0.0);
+    EXPECT_EQ(stats.full_dp, 0u);
+    EXPECT_EQ(stats.short_circuits, 2u);
+  }
+  // All-zero candidates and query: zero level short-circuits the scaling.
+  {
+    const std::vector<double> query(16, 0.0);
+    std::vector<std::vector<double>> corpus{std::vector<double>(16, 0.0),
+                                            std::vector<double>(16, 0.0),
+                                            std::vector<double>()};
+    dtw::SearchStats stats;
+    const auto matches = dtw::top_k(query, corpus, 2, {}, &stats);
+    ASSERT_EQ(matches.size(), 2u);
+    EXPECT_EQ(matches[0].index, 0u);
+    EXPECT_EQ(matches[1].index, 1u);
+    EXPECT_EQ(matches[0].similarity, 0.0);
+    EXPECT_EQ(stats.full_dp, 0u);
+    EXPECT_EQ(stats.short_circuits, 3u);
+  }
+}
+
+TEST(DtwSearch, LengthOneAndNarrowBandStayExact) {
+  Rng rng(41);
+  std::vector<std::vector<double>> corpus{std::vector<double>{3.5},
+                                          random_series(rng, 17, 10.0),
+                                          random_series(rng, 1, 10.0),
+                                          random_series(rng, 40, 10.0)};
+  const auto query = random_series(rng, 9, 10.0);
+  dtw::SearchOptions pruned;
+  pruned.dtw.band = 0;  // < |n - m| for every candidate: effective band widens
+  dtw::SearchOptions brute = pruned;
+  brute.prune = false;
+  const auto fast = dtw::top_k(query, corpus, corpus.size(), pruned);
+  const auto slow = dtw::top_k(query, corpus, corpus.size(), brute);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].index, slow[i].index);
+    EXPECT_EQ(fast[i].similarity, slow[i].similarity);
+    EXPECT_EQ(fast[i].distance, slow[i].distance);
+  }
+}
+
+// --- thread invariance ----------------------------------------------------
+
+TEST(DtwSearch, ResultsIdenticalAtAnyThreadCount) {
+  const ThreadGuard guard;
+  Rng rng(43);
+  const auto corpus = structured_corpus(rng, 20, 50);
+  auto query = corpus[7];
+  for (auto& v : query) v = std::max(0.0, v + rng.normal(0.0, 0.3));
+  dtw::SearchOptions options;
+  options.dtw.band = 7;
+
+  set_thread_count(1);
+  const auto base_match = dtw::best_match(query, corpus, options);
+  const auto base_top = dtw::top_k(query, corpus, 5, options);
+  const auto base_matrix = dtw::similarity_matrix(corpus, options.dtw);
+  for (const int threads : {2, 8}) {
+    set_thread_count(threads);
+    const auto match = dtw::best_match(query, corpus, options);
+    EXPECT_EQ(match.index, base_match.index) << "threads=" << threads;
+    EXPECT_EQ(match.similarity, base_match.similarity) << "threads=" << threads;
+    const auto top = dtw::top_k(query, corpus, 5, options);
+    ASSERT_EQ(top.size(), base_top.size());
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].index, base_top[i].index) << "threads=" << threads;
+      EXPECT_EQ(top[i].similarity, base_top[i].similarity) << "threads=" << threads;
+    }
+    const auto matrix = dtw::similarity_matrix(corpus, options.dtw);
+    EXPECT_EQ(matrix, base_matrix) << "threads=" << threads;
+  }
+}
+
+// --- the matrix engine and its cached levels ------------------------------
+
+TEST(DtwSearch, SimilarityMatrixMatchesPairwiseCalls) {
+  Rng rng(47);
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 9; ++i) series.push_back(random_series(rng, 30, 20.0));
+  series.push_back({});                         // empty row
+  series.push_back(std::vector<double>(30, 0.0));  // zero-level row
+  dtw::DtwOptions options;
+  options.band = 5;
+  const auto matrix = dtw::similarity_matrix(series, options);
+  const std::size_t n = series.size();
+  ASSERT_EQ(matrix.size(), n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(matrix[i * n + j], dtw::series_similarity(series[i], series[j], options))
+          << i << "," << j;
+      EXPECT_EQ(matrix[i * n + j], matrix[j * n + i]);
+    }
+  }
+}
+
+TEST(DtwSearch, KernelCountersTallyWork) {
+  Rng rng(53);
+  const auto a = random_series(rng, 25, 10.0);
+  const auto b = random_series(rng, 25, 10.0);
+  dtw::reset_kernel_counters();
+  dtw::DtwOptions options;
+  options.band = 4;
+  (void)dtw::dtw_distance(a, b, options);
+  const auto counters = dtw::kernel_counters();
+  EXPECT_EQ(counters.dp_calls, 1u);
+  EXPECT_GE(counters.dp_cells, 25u);      // at least the main diagonal
+  EXPECT_LE(counters.dp_cells, 25u * 25u);
+  EXPECT_EQ(counters.dp_abandoned, 0u);
+}

@@ -16,6 +16,15 @@
 #   tools/check.sh --no-sanitizers    skip step 4
 #   tools/check.sh --sanitizers-only  only step 4 (CI runs 1-3 as its own
 #                                     named steps)
+#   tools/check.sh --bench      build bench_micro (default config, matching
+#                               the committed baseline) and diff its tracked
+#                               benchmarks' ns/op against BENCH_micro.json;
+#                               prints NEW/MISSING/ok per entry and WARNS on
+#                               >25% regressions (never fails — this VM's
+#                               wall clock is noisy; treat warnings as a
+#                               prompt to re-run and investigate)
+#   tools/check.sh --bench-update   same run, then rewrite BENCH_micro.json
+#                                   with the fresh numbers (commit it)
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -28,17 +37,97 @@ step() { printf '\n=== %s ===\n' "$*"; }
 format_mode=0
 sanitizers=1
 main_gate=1
+bench_mode=0
+bench_update=0
 for arg in "$@"; do
   case "$arg" in
     --format) format_mode=1 ;;
     --no-sanitizers) sanitizers=0 ;;
     --sanitizers-only) main_gate=0 ;;
+    --bench) bench_mode=1 ;;
+    --bench-update) bench_mode=1; bench_update=1 ;;
     *)
-      echo "usage: tools/check.sh [--format] [--no-sanitizers] [--sanitizers-only]" >&2
+      echo "usage: tools/check.sh [--format] [--no-sanitizers] [--sanitizers-only] [--bench] [--bench-update]" >&2
       exit 2
       ;;
   esac
 done
+
+# The benchmark set tracked in BENCH_micro.json. Anchored: adding a new
+# benchmark to bench_micro does not silently change this gate — extend the
+# filter (and refresh the baseline) deliberately.
+BENCH_FILTER='^BM_SnifferSubframe/16$|^BM_Dtw/180$|^BM_DtwBestMatch/[01]$|^BM_RandomForestTrain/5000$|^BM_RandomForestTrainPar/5000/(1|2|4)$|^BM_DtwMatrixPar/24/(1|2|4)$|^BM_BlindDecodeBatchPar/0/(1|2|4)$|^BM_CollectTracesPar/4/(1|2|4)$'
+
+run_bench() {
+  step "bench build (default config, as the committed baseline)"
+  cmake -B "$ROOT/build-bench" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build-bench" -j"$JOBS" --target bench_micro
+
+  step "bench run (tracked set)"
+  local fresh="$ROOT/build-bench/bench_micro_fresh.json"
+  "$ROOT/build-bench/bench/bench_micro" \
+    --benchmark_filter="$BENCH_FILTER" --json "$fresh"
+
+  step "bench diff vs BENCH_micro.json (warn > 25%)"
+  awk '
+    # Both files are one JSON object per line, written by bench_micro
+    # itself; POSIX match()/RSTART/RLENGTH keep this dependency-free.
+    {
+      if (match($0, /"name": "[^"]*"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (match($0, /"ns_per_op": [0-9.eE+-]+/)) {
+          ns = substr($0, RSTART + 13, RLENGTH - 13) + 0
+          if (NR == FNR) {
+            base[name] = ns
+            base_order[++nb] = name
+          } else {
+            cur[name] = ns
+            cur_order[++nc] = name
+          }
+        }
+      }
+    }
+    END {
+      warned = 0
+      for (i = 1; i <= nc; i++) {
+        name = cur_order[i]
+        if (!(name in base)) {
+          printf "NEW         %-34s %14.0f ns/op (no baseline)\n", name, cur[name]
+          continue
+        }
+        pct = (cur[name] - base[name]) / base[name] * 100.0
+        if (pct > 25.0) {
+          printf "REGRESSION  %-34s %14.0f -> %.0f ns/op (%+.1f%%)\n", \
+                 name, base[name], cur[name], pct
+          warned++
+        } else {
+          printf "ok          %-34s %14.0f -> %.0f ns/op (%+.1f%%)\n", \
+                 name, base[name], cur[name], pct
+        }
+      }
+      for (i = 1; i <= nb; i++) {
+        name = base_order[i]
+        if (!(name in cur)) printf "MISSING     %-34s (in baseline, not produced)\n", name
+      }
+      if (warned > 0) {
+        printf "\nWARNING: %d benchmark(s) regressed more than 25%% vs the committed baseline\n", warned
+      } else {
+        print "\nno regressions beyond 25%"
+      }
+    }
+  ' "$ROOT/BENCH_micro.json" "$fresh"
+
+  if [[ "$bench_update" == 1 ]]; then
+    step "refreshing BENCH_micro.json"
+    cp "$fresh" "$ROOT/BENCH_micro.json"
+    echo "baseline rewritten; review and commit it"
+  fi
+}
+
+if [[ "$bench_mode" == 1 ]]; then
+  run_bench
+  exit 0
+fi
 
 run_format() {
   step "clang-format (dry run)"
