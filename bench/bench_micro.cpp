@@ -29,6 +29,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "dtw/dtw.hpp"
+#include "features/matrix.hpp"
 #include "features/window.hpp"
 #include "lte/crc.hpp"
 #include "lte/dci.hpp"
@@ -290,6 +291,33 @@ void BM_RandomForestPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomForestPredict);
+
+void BM_RandomForestPredictBatch(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = synthetic_dataset(5000, 3, rng);
+  ml::RandomForest rf;
+  rf.fit(data);
+  const features::DatasetMatrix matrix(data);
+  const auto rows = matrix.all_rows();
+  for (auto _ : state) {
+    const auto out = rf.predict_rows(matrix, rows);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_RandomForestPredictBatch)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetMatrixBuild(benchmark::State& state) {
+  Rng rng(3);
+  const auto data = synthetic_dataset(static_cast<std::size_t>(state.range(0)), 3, rng);
+  for (auto _ : state) {
+    const features::DatasetMatrix matrix(data);
+    // Include the lazy argsort the presorted trainer relies on.
+    benchmark::DoNotOptimize(matrix.sorted_order(0).data());
+  }
+}
+BENCHMARK(BM_DatasetMatrixBuild)->Arg(5000);
 
 void BM_KnnPredict(benchmark::State& state) {
   Rng rng(3);

@@ -114,14 +114,17 @@ TraceVerdict FingerprintPipeline::classify_trace(const sniffer::Trace& trace,
 }
 
 ml::ConfusionMatrix FingerprintPipeline::evaluate(const features::Dataset& test_set) const {
+  return evaluate(features::DatasetMatrix(test_set));
+}
+
+ml::ConfusionMatrix FingerprintPipeline::evaluate(
+    const features::DatasetMatrix& test_matrix) const {
   if (!model_) throw std::logic_error("FingerprintPipeline: not trained");
-  const auto predictions = parallel_map(
-      test_set.samples.size(),
-      [&](std::size_t i) { return model_->predict(test_set.samples[i].features); },
-      /*chunk=*/16);
+  const auto rows = test_matrix.all_rows();
+  const auto predictions = model_->predict_rows(test_matrix, rows);
   ml::ConfusionMatrix cm(apps::kNumApps);
   for (std::size_t i = 0; i < predictions.size(); ++i) {
-    cm.add(test_set.samples[i].label, predictions[i]);
+    cm.add(test_matrix.label(i), predictions[i]);
   }
   return cm;
 }

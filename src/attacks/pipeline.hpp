@@ -13,6 +13,7 @@
 
 #include "apps/app_id.hpp"
 #include "attacks/collect.hpp"
+#include "features/matrix.hpp"
 #include "features/window.hpp"
 #include "ml/hierarchical.hpp"
 #include "ml/metrics.hpp"
@@ -81,6 +82,12 @@ class FingerprintPipeline {
 
   /// Confusion matrix over a labeled test set (9 app classes).
   ml::ConfusionMatrix evaluate(const features::Dataset& test_set) const;
+
+  /// Columnar variant: evaluates every row of an already-transposed test
+  /// matrix (batch block traversal, no per-sample feature gathers). The
+  /// Dataset overload delegates here; callers that evaluate the same test
+  /// set repeatedly (sustained monitoring) should transpose once and reuse.
+  ml::ConfusionMatrix evaluate(const features::DatasetMatrix& test_matrix) const;
 
   features::WindowConfig window_config() const;
 

@@ -39,12 +39,14 @@ std::vector<MonitoringDay> simulate_sustained_monitoring(const PipelineConfig& c
     test_config.day = day;
     test_config.session_day_range = 0;
     test_config.seed = config.seed ^ (0xE7A1ULL * static_cast<std::uint64_t>(day + 1));
-    const features::Dataset test_set = build_dataset(test_config);
+    // Transpose once; evaluate() runs on the columnar matrix directly (and
+    // a retrain below re-evaluates nothing, so one transpose per day).
+    const features::DatasetMatrix test_matrix(build_dataset(test_config));
     cost += cost_model.identification_cost();
 
     MonitoringDay entry;
     entry.day = day;
-    entry.weighted_f = pipeline.evaluate(test_set).weighted_f_score();
+    entry.weighted_f = pipeline.evaluate(test_matrix).weighted_f_score();
     entry.model_age_days = day - trained_on_day;
 
     if (entry.weighted_f < policy.threshold) {

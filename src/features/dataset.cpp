@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "features/matrix.hpp"
+
 namespace ltefp::features {
 
 std::vector<std::size_t> Dataset::class_histogram() const {
@@ -67,6 +69,29 @@ void Standardizer::fit(const Dataset& data) {
   }
 }
 
+void Standardizer::fit_rows(const DatasetMatrix& data, std::span<const std::uint32_t> rows) {
+  if (rows.empty()) throw std::invalid_argument("Standardizer::fit_rows: empty row set");
+  const std::size_t dims = data.cols();
+  mean_.assign(dims, 0.0);
+  stddev_.assign(dims, 0.0);
+  // Accumulate in (row, dim) order — the order fit() sees when handed the
+  // materialised subset — so the sums round identically.
+  for (const std::uint32_t row : rows) {
+    for (std::size_t d = 0; d < dims; ++d) mean_[d] += data.at(row, d);
+  }
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+  for (const std::uint32_t row : rows) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double diff = data.at(row, d) - mean_[d];
+      stddev_[d] += diff * diff;
+    }
+  }
+  for (double& sd : stddev_) {
+    sd = std::sqrt(sd / static_cast<double>(rows.size()));
+    if (sd < 1e-12) sd = 1.0;
+  }
+}
+
 Standardizer Standardizer::from_params(std::vector<double> means,
                                        std::vector<double> stddevs) {
   if (means.size() != stddevs.size() || means.empty()) {
@@ -82,10 +107,16 @@ Standardizer Standardizer::from_params(std::vector<double> means,
 }
 
 FeatureVector Standardizer::transform(const FeatureVector& x) const {
-  if (x.size() != mean_.size()) throw std::invalid_argument("Standardizer: dim mismatch");
   FeatureVector out(x.size());
-  for (std::size_t d = 0; d < x.size(); ++d) out[d] = (x[d] - mean_[d]) / stddev_[d];
+  transform(x, out);
   return out;
+}
+
+void Standardizer::transform(std::span<const double> x, std::span<double> out) const {
+  if (x.size() != mean_.size() || out.size() != mean_.size()) {
+    throw std::invalid_argument("Standardizer: dim mismatch");
+  }
+  for (std::size_t d = 0; d < x.size(); ++d) out[d] = (x[d] - mean_[d]) / stddev_[d];
 }
 
 void Standardizer::transform_in_place(Dataset& data) const {

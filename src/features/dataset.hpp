@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +11,8 @@
 #include "common/rng.hpp"
 
 namespace ltefp::features {
+
+class DatasetMatrix;  // features/matrix.hpp — columnar view of a Dataset
 
 using FeatureVector = std::vector<double>;
 
@@ -47,7 +51,14 @@ class Standardizer {
  public:
   /// Fits mean/stddev per feature. Constant features get stddev 1.
   void fit(const Dataset& data);
+  /// Fits on a row subset of a columnar matrix — same accumulation order
+  /// as fitting the materialised subset, so the parameters are
+  /// bit-identical.
+  void fit_rows(const DatasetMatrix& data, std::span<const std::uint32_t> rows);
   FeatureVector transform(const FeatureVector& x) const;
+  /// Allocation-free transform into caller-owned scratch. `x` and `out`
+  /// may alias; both must match the fitted dimensionality.
+  void transform(std::span<const double> x, std::span<double> out) const;
   void transform_in_place(Dataset& data) const;
   bool fitted() const { return !mean_.empty(); }
 

@@ -1,0 +1,100 @@
+// Columnar (structure-of-arrays) view of a labeled dataset.
+//
+// The AoS `Dataset` (one FeatureVector per sample) is the collection-side
+// container; every ML hot path wants the transpose: one contiguous array
+// per feature plus a flat label array. `DatasetMatrix` is that transpose,
+// built once per dataset and then shared — classifiers fit and predict on
+// (matrix, row-index) views, so cross-validation folds and hierarchical
+// stages never deep-copy feature storage again.
+//
+// Storage is immutable after construction and held behind a shared_ptr:
+// `with_labels` makes a relabeled view (coarse groups, per-stage local
+// labels) that shares the feature columns. The per-column argsort used by
+// the presorted tree trainer is cached lazily in the shared store, so all
+// trees of a forest (across threads) pay for it once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/dataset.hpp"
+
+namespace ltefp::features {
+
+class DatasetMatrix {
+ public:
+  DatasetMatrix() = default;
+
+  /// Transposes `data` into column-major storage. Throws
+  /// std::invalid_argument if samples disagree on dimensionality or the
+  /// dataset exceeds the 32-bit row-index space.
+  explicit DatasetMatrix(const Dataset& data);
+
+  std::size_t rows() const { return labels_.size(); }
+  std::size_t cols() const { return store_ ? store_->cols : 0; }
+  bool empty() const { return labels_.empty(); }
+
+  /// One feature's values over all rows, contiguous.
+  std::span<const double> column(std::size_t f) const {
+    return {store_->values.data() + f * rows(), rows()};
+  }
+  double at(std::size_t row, std::size_t f) const {
+    return store_->values[f * rows() + row];
+  }
+
+  int label(std::size_t row) const { return labels_[row]; }
+  std::span<const int> labels() const { return labels_; }
+
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+  int class_count() const { return static_cast<int>(label_names_.size()); }
+
+  /// Same semantics as Dataset::class_histogram, over all rows.
+  std::vector<std::size_t> class_histogram() const;
+  /// Histogram over a row subset (a fold / group view).
+  std::vector<std::size_t> class_histogram(std::span<const std::uint32_t> rows) const;
+
+  /// Copies row `row` into `out` (size must be cols()).
+  void gather_row(std::size_t row, std::span<double> out) const;
+  FeatureVector row_vector(std::size_t row) const;
+
+  /// Every row index in order — the "whole dataset" view.
+  std::vector<std::uint32_t> all_rows() const;
+
+  /// Materialises a row subset back into an AoS Dataset (compatibility
+  /// path for classifiers without a columnar fit).
+  Dataset materialize(std::span<const std::uint32_t> rows) const;
+
+  /// A view sharing this matrix's feature columns (and argsort cache) with
+  /// different labels — how the hierarchical classifier derives its coarse
+  /// and per-group stage datasets without copying features. `labels` must
+  /// have one entry per row.
+  DatasetMatrix with_labels(std::vector<int> labels,
+                            std::vector<std::string> label_names) const;
+
+  /// Row indices of column `f` ordered by ascending value (ties by row).
+  /// Computed on first use and cached in the shared store; thread-safe.
+  std::span<const std::uint32_t> sorted_order(std::size_t f) const;
+
+ private:
+  struct ColumnStore {
+    std::vector<double> values;  // column-major: values[f * rows + i]
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    // Lazy per-column argsort, cols blocks of rows indices each.
+    mutable std::vector<std::uint32_t> argsort;
+    mutable std::once_flag argsort_once;
+  };
+
+  std::shared_ptr<const ColumnStore> store_;
+  std::vector<int> labels_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> label_names_;
+};
+
+}  // namespace ltefp::features

@@ -4,6 +4,26 @@
 
 namespace ltefp::ml {
 
+void Classifier::fit_rows(const features::DatasetMatrix& train,
+                          std::span<const std::uint32_t> rows) {
+  fit(train.materialize(rows));
+}
+
+std::vector<int> Classifier::predict_rows(const features::DatasetMatrix& data,
+                                          std::span<const std::uint32_t> rows) const {
+  // Chunk-parallel with one gather scratch per chunk: each prediction
+  // lands in its own slot, so output order matches row order exactly.
+  std::vector<int> out(rows.size());
+  parallel_for(rows.size(), /*chunk=*/16, [&](std::size_t begin, std::size_t end) {
+    FeatureVector x(data.cols());
+    for (std::size_t i = begin; i < end; ++i) {
+      data.gather_row(rows[i], x);
+      out[i] = predict(x);
+    }
+  });
+  return out;
+}
+
 std::vector<int> predict_all(const Classifier& model, const Dataset& data) {
   // Batch-parallel over samples: predict() is const and each result lands
   // in its own slot, so output order matches sample order exactly.
@@ -11,6 +31,10 @@ std::vector<int> predict_all(const Classifier& model, const Dataset& data) {
       data.samples.size(),
       [&](std::size_t i) { return model.predict(data.samples[i].features); },
       /*chunk=*/16);
+}
+
+std::vector<int> predict_all(const Classifier& model, const features::DatasetMatrix& data) {
+  return model.predict_rows(data, data.all_rows());
 }
 
 }  // namespace ltefp::ml

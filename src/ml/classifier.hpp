@@ -2,10 +2,13 @@
 // Table VIII (Logistic Regression, kNN, CNN, Random Forest).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "features/dataset.hpp"
+#include "features/matrix.hpp"
 
 namespace ltefp::ml {
 
@@ -19,8 +22,22 @@ class Classifier {
   /// Trains on the dataset. Implementations may standardise internally.
   virtual void fit(const Dataset& train) = 0;
 
+  /// Trains on a row subset of a columnar matrix — the zero-copy path
+  /// cross-validation folds and hierarchical stages use. The default
+  /// materialises the subset and calls fit(); columnar learners override
+  /// it. Implementations must produce a model bit-identical to fitting
+  /// the materialised subset.
+  virtual void fit_rows(const features::DatasetMatrix& train,
+                        std::span<const std::uint32_t> rows);
+
   /// Predicted class label for one feature vector.
   virtual int predict(const FeatureVector& x) const = 0;
+
+  /// Batch prediction over matrix rows, in row order. The default gathers
+  /// each row into reusable per-chunk scratch and calls predict();
+  /// columnar learners override it with block traversal.
+  virtual std::vector<int> predict_rows(const features::DatasetMatrix& data,
+                                        std::span<const std::uint32_t> rows) const;
 
   /// Per-class probability estimates (sums to 1).
   virtual std::vector<double> predict_proba(const FeatureVector& x) const = 0;
@@ -30,5 +47,8 @@ class Classifier {
 
 /// Predicts a whole dataset; returns labels in sample order.
 std::vector<int> predict_all(const Classifier& model, const Dataset& data);
+
+/// Predicts every row of a columnar matrix, in row order.
+std::vector<int> predict_all(const Classifier& model, const features::DatasetMatrix& data);
 
 }  // namespace ltefp::ml

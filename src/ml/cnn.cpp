@@ -47,9 +47,34 @@ void Cnn1D::forward(const FeatureVector& std_x, Activations& act) const {
 
 void Cnn1D::fit(const Dataset& train) {
   if (train.empty()) throw std::invalid_argument("Cnn1D::fit: empty dataset");
-  standardizer_.fit(train);
-  dims_ = static_cast<int>(train.feature_count());
-  num_classes_ = static_cast<int>(train.class_histogram().size());
+  const features::DatasetMatrix matrix(train);
+  fit_rows(matrix, matrix.all_rows());
+}
+
+void Cnn1D::fit_rows(const features::DatasetMatrix& train,
+                     std::span<const std::uint32_t> rows) {
+  if (rows.empty()) throw std::invalid_argument("Cnn1D::fit: empty dataset");
+  standardizer_.fit_rows(train, rows);
+
+  std::vector<FeatureVector> xs;
+  std::vector<int> labels;
+  xs.reserve(rows.size());
+  labels.reserve(rows.size());
+  FeatureVector raw(train.cols());
+  for (const std::uint32_t row : rows) {
+    train.gather_row(row, raw);
+    FeatureVector z(raw.size());
+    standardizer_.transform(raw, z);
+    xs.push_back(std::move(z));
+    labels.push_back(train.label(row));
+  }
+  fit_impl(xs, labels, static_cast<int>(train.class_histogram(rows).size()));
+}
+
+void Cnn1D::fit_impl(const std::vector<FeatureVector>& xs, const std::vector<int>& labels,
+                     int num_classes) {
+  dims_ = static_cast<int>(xs.front().size());
+  num_classes_ = num_classes;
 
   Rng rng(config_.seed);
   const auto he = [&](int fan_in) { return rng.normal(0.0, std::sqrt(2.0 / fan_in)); };
@@ -75,11 +100,7 @@ void Cnn1D::fit(const Dataset& train) {
   for (auto& w : dense_w_v) std::fill(w.begin(), w.end(), 0.0);
   std::vector<double> dense_b_v(dense_b_.size(), 0.0);
 
-  std::vector<FeatureVector> xs;
-  xs.reserve(train.size());
-  for (const auto& s : train.samples) xs.push_back(standardizer_.transform(s.features));
-
-  std::vector<std::size_t> order(train.size());
+  std::vector<std::size_t> order(xs.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   const auto batch = static_cast<std::size_t>(std::max(1, config_.batch_size));
   const int half = config_.kernel / 2;
@@ -101,7 +122,7 @@ void Cnn1D::fit(const Dataset& train) {
       for (std::size_t i = start; i < stop; ++i) {
         const std::size_t idx = order[i];
         forward(xs[idx], act);
-        const int y = train.samples[idx].label;
+        const int y = labels[idx];
 
         // dL/dlogits = proba - onehot
         std::vector<double> dlogits(act.proba);

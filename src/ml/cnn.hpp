@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "features/dataset.hpp"
@@ -32,6 +33,8 @@ class Cnn1D final : public Classifier {
   explicit Cnn1D(CnnConfig config = {});
 
   void fit(const Dataset& train) override;
+  void fit_rows(const features::DatasetMatrix& train,
+                std::span<const std::uint32_t> rows) override;
   int predict(const FeatureVector& x) const override;
   std::vector<double> predict_proba(const FeatureVector& x) const override;
   const char* name() const override { return "CNN"; }
@@ -43,6 +46,9 @@ class Cnn1D final : public Classifier {
     std::vector<double> proba;   // [classes]
   };
   void forward(const FeatureVector& std_x, Activations& act) const;
+  /// SGD core over pre-standardised samples; xs.size() == labels.size().
+  void fit_impl(const std::vector<FeatureVector>& xs, const std::vector<int>& labels,
+                int num_classes);
 
   CnnConfig config_;
   features::Standardizer standardizer_;

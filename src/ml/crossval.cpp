@@ -1,8 +1,10 @@
 #include "ml/crossval.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "features/matrix.hpp"
 
 namespace ltefp::ml {
 
@@ -27,18 +29,22 @@ std::vector<int> stratified_folds(const Dataset& data, int folds, std::uint64_t 
 double cross_val_accuracy(Classifier& model, const Dataset& data, int folds,
                           std::uint64_t seed) {
   const auto assignment = stratified_folds(data, folds, seed);
+  // One columnar transpose up front; every fold is a pair of row-index
+  // views into it. No per-fold feature copies.
+  const features::DatasetMatrix matrix(data);
   std::size_t correct = 0, total = 0;
+  std::vector<std::uint32_t> train_rows, test_rows;
   for (int fold = 0; fold < folds; ++fold) {
-    Dataset train, test;
-    train.feature_names = test.feature_names = data.feature_names;
-    train.label_names = test.label_names = data.label_names;
-    for (std::size_t i = 0; i < data.samples.size(); ++i) {
-      (assignment[i] == fold ? test : train).samples.push_back(data.samples[i]);
+    train_rows.clear();
+    test_rows.clear();
+    for (std::size_t i = 0; i < matrix.rows(); ++i) {
+      (assignment[i] == fold ? test_rows : train_rows).push_back(static_cast<std::uint32_t>(i));
     }
-    if (train.empty() || test.empty()) continue;
-    model.fit(train);
-    for (const auto& s : test.samples) {
-      if (model.predict(s.features) == s.label) ++correct;
+    if (train_rows.empty() || test_rows.empty()) continue;
+    model.fit_rows(matrix, train_rows);
+    const auto predicted = model.predict_rows(matrix, test_rows);
+    for (std::size_t j = 0; j < test_rows.size(); ++j) {
+      if (predicted[j] == matrix.label(test_rows[j])) ++correct;
       ++total;
     }
   }

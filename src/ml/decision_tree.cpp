@@ -21,28 +21,68 @@ double gini_from_counts(std::span<const double> counts, double total) {
 DecisionTree::DecisionTree(TreeConfig config, std::uint64_t seed)
     : config_(config), rng_(seed) {}
 
-void DecisionTree::fit(const features::Dataset& data, int num_classes) {
-  std::vector<std::size_t> indices(data.size());
+void DecisionTree::fit(const features::DatasetMatrix& data, int num_classes) {
+  std::vector<std::size_t> indices(data.rows());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
   fit(data, indices, num_classes);
 }
 
+void DecisionTree::fit(const features::Dataset& data, int num_classes) {
+  fit(features::DatasetMatrix(data), num_classes);
+}
+
 void DecisionTree::fit(const features::Dataset& data, std::span<const std::size_t> indices,
                        int num_classes) {
+  fit(features::DatasetMatrix(data), indices, num_classes);
+}
+
+void DecisionTree::fit(const features::DatasetMatrix& data,
+                       std::span<const std::size_t> indices, int num_classes) {
   if (indices.empty()) throw std::invalid_argument("DecisionTree::fit: no samples");
   if (num_classes <= 0) throw std::invalid_argument("DecisionTree::fit: bad class count");
   nodes_.clear();
   num_classes_ = num_classes;
-  std::vector<std::size_t> work(indices.begin(), indices.end());
-  build(data, work, 0, work.size(), 0, num_classes);
+  matrix_ = &data;
+  total_n_ = indices.size();
+  idx_.assign(indices.begin(), indices.end());
+
+  const std::size_t rows = data.rows();
+  const std::size_t dims = data.cols();
+
+  // Expand the dataset-wide per-column argsort through this fit's
+  // bootstrap multiplicities: one counting pass per feature replaces a
+  // per-tree O(n log n) sort per column. Duplicated entries land adjacent
+  // (same value), which is all the sweep needs.
+  boot_mult_.assign(rows, 0);
+  for (const std::size_t id : idx_) ++boot_mult_[id];
+  sorted_.resize(dims * total_n_);
+  for (std::size_t f = 0; f < dims; ++f) {
+    const auto order = data.sorted_order(f);
+    std::uint32_t* out = sorted_.data() + f * total_n_;
+    for (const std::uint32_t id : order) {
+      for (std::uint32_t r = boot_mult_[id]; r > 0; --r) *out++ = id;
+    }
+  }
+  part_scratch_.resize(total_n_);
+  left_mask_.assign(rows, 0);
+
+  build(0, idx_.size(), 0);
+
+  // Release fit-scoped scratch: forests keep many trained trees around.
+  matrix_ = nullptr;
+  std::vector<std::size_t>().swap(idx_);
+  std::vector<std::uint32_t>().swap(sorted_);
+  std::vector<std::uint32_t>().swap(part_scratch_);
+  std::vector<std::uint32_t>().swap(boot_mult_);
+  std::vector<unsigned char>().swap(left_mask_);
 }
 
-int DecisionTree::build(const features::Dataset& data, std::vector<std::size_t>& indices,
-                        std::size_t begin, std::size_t end, int depth, int num_classes) {
+int DecisionTree::build(std::size_t begin, std::size_t end, int depth) {
   const std::size_t n = end - begin;
-  std::vector<double> counts(static_cast<std::size_t>(num_classes), 0.0);
+  const std::span<const int> labels = matrix_->labels();
+  std::vector<double> counts(static_cast<std::size_t>(num_classes_), 0.0);
   for (std::size_t i = begin; i < end; ++i) {
-    ++counts[static_cast<std::size_t>(data.samples[indices[i]].label)];
+    ++counts[static_cast<std::size_t>(labels[idx_[i]])];
   }
   const double node_gini = gini_from_counts(counts, static_cast<double>(n));
 
@@ -63,7 +103,7 @@ int DecisionTree::build(const features::Dataset& data, std::vector<std::size_t>&
     return make_leaf();
   }
 
-  const std::size_t dims = data.samples[indices[begin]].features.size();
+  const std::size_t dims = matrix_->cols();
   // Choose the features to try at this node.
   std::vector<std::size_t> tried(dims);
   std::iota(tried.begin(), tried.end(), std::size_t{0});
@@ -77,68 +117,111 @@ int DecisionTree::build(const features::Dataset& data, std::vector<std::size_t>&
   double best_score = node_gini;  // must strictly improve
   std::vector<double> left_counts(counts.size());
   std::vector<double> right_counts(counts.size());
-  node_labels_.resize(n);
-  node_values_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    node_labels_[i] = data.samples[indices[begin + i]].label;
-  }
+
+  const int candidates = std::max(1, config_.threshold_candidates);
+  cand_threshold_.resize(static_cast<std::size_t>(candidates));
+  cand_order_.resize(static_cast<std::size_t>(candidates));
+  cand_left_counts_.resize(static_cast<std::size_t>(candidates) * counts.size());
+  cand_n_left_.resize(static_cast<std::size_t>(candidates));
 
   for (const std::size_t f : tried) {
-    // Gather this feature's node values once; the candidate loop below
-    // re-scans them threshold_candidates times, so it pays for flat
-    // arrays, not per-sample pointer chasing. Sample candidate thresholds
-    // from the node's observed range.
-    double lo = std::numeric_limits<double>::infinity();
-    double hi = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
-      const double v = data.samples[indices[begin + i]].features[f];
-      node_values_[i] = v;
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
+    const double* col = matrix_->column(f).data();
+    const std::uint32_t* srt = sorted_.data() + f * total_n_ + begin;
+    // The node's sorted order hands us the value range for free.
+    const double lo = col[srt[0]];
+    const double hi = col[srt[n - 1]];
     if (!(hi > lo)) continue;  // constant feature in this node
 
-    const int candidates = std::max(1, config_.threshold_candidates);
+    // Draw the candidate thresholds exactly as the historical trainer
+    // did: midpoints between two random node values concentrate
+    // candidates where the data mass is. Node positions index idx_, so
+    // the draws (and the RNG stream) are independent of the presort.
     for (int c = 0; c < candidates; ++c) {
-      // Midpoints between two random node values concentrate candidates
-      // where the data mass is.
-      const double a = node_values_[rng_.index(n)];
-      const double b = node_values_[rng_.index(n)];
-      const double threshold = a == b ? (a + lo + (hi - lo) * rng_.uniform()) / 2.0
-                                      : (a + b) / 2.0;
-      std::fill(left_counts.begin(), left_counts.end(), 0.0);
-      double n_left = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (node_values_[i] <= threshold) {
-          ++left_counts[static_cast<std::size_t>(node_labels_[i])];
-          ++n_left;
-        }
+      const double a = col[idx_[begin + rng_.index(n)]];
+      const double b = col[idx_[begin + rng_.index(n)]];
+      cand_threshold_[static_cast<std::size_t>(c)] =
+          a == b ? (a + lo + (hi - lo) * rng_.uniform()) / 2.0 : (a + b) / 2.0;
+    }
+
+    // One incremental class-count sweep over the node's sorted order
+    // scores every candidate: visit candidates by ascending threshold,
+    // advancing a single frontier instead of recounting the node per
+    // candidate.
+    std::iota(cand_order_.begin(), cand_order_.end(), 0);
+    std::sort(cand_order_.begin(), cand_order_.end(), [this](int x, int y) {
+      const double tx = cand_threshold_[static_cast<std::size_t>(x)];
+      const double ty = cand_threshold_[static_cast<std::size_t>(y)];
+      return tx < ty || (tx == ty && x < y);
+    });
+    running_counts_.assign(counts.size(), 0);
+    std::size_t pos = 0;
+    for (const int c : cand_order_) {
+      const double threshold = cand_threshold_[static_cast<std::size_t>(c)];
+      while (pos < n && col[srt[pos]] <= threshold) {
+        ++running_counts_[static_cast<std::size_t>(labels[srt[pos]])];
+        ++pos;
       }
+      double* snap = cand_left_counts_.data() + static_cast<std::size_t>(c) * counts.size();
+      for (std::size_t k = 0; k < counts.size(); ++k) {
+        snap[k] = static_cast<double>(running_counts_[k]);
+      }
+      cand_n_left_[static_cast<std::size_t>(c)] = static_cast<double>(pos);
+    }
+
+    // Score in the original candidate order so best-so-far tie behaviour
+    // matches the per-candidate trainer exactly.
+    for (int c = 0; c < candidates; ++c) {
+      const double n_left = cand_n_left_[static_cast<std::size_t>(c)];
       const double n_right = static_cast<double>(n) - n_left;
       if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) continue;
-      for (std::size_t k = 0; k < counts.size(); ++k) right_counts[k] = counts[k] - left_counts[k];
+      const double* snap =
+          cand_left_counts_.data() + static_cast<std::size_t>(c) * counts.size();
+      for (std::size_t k = 0; k < counts.size(); ++k) {
+        left_counts[k] = snap[k];
+        right_counts[k] = counts[k] - snap[k];
+      }
       const double score = (n_left * gini_from_counts(left_counts, n_left) +
                             n_right * gini_from_counts(right_counts, n_right)) /
                            static_cast<double>(n);
       if (score + 1e-12 < best_score) {
         best_score = score;
         best_feature = static_cast<int>(f);
-        best_threshold = threshold;
+        best_threshold = cand_threshold_[static_cast<std::size_t>(c)];
       }
     }
   }
 
   if (best_feature < 0) return make_leaf();
 
-  // Partition indices in place.
+  // Partition the node-order entries in place (split predicate and
+  // permutation identical to the historical trainer).
+  const double* best_col = matrix_->column(static_cast<std::size_t>(best_feature)).data();
   const auto mid_it = std::partition(
-      indices.begin() + static_cast<std::ptrdiff_t>(begin),
-      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
-        return data.samples[idx].features[static_cast<std::size_t>(best_feature)] <=
-               best_threshold;
-      });
-  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+      idx_.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx_.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t id) { return best_col[id] <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - idx_.begin());
   if (mid == begin || mid == end) return make_leaf();  // degenerate split
+
+  // Maintain the per-feature sorted partitions: a stable partition keeps
+  // each side sorted. Side membership is a per-row bit (duplicated
+  // bootstrap entries share it), read off the already-partitioned idx_.
+  for (std::size_t i = begin; i < mid; ++i) left_mask_[idx_[i]] = 1;
+  for (std::size_t i = mid; i < end; ++i) left_mask_[idx_[i]] = 0;
+  for (std::size_t f = 0; f < dims; ++f) {
+    std::uint32_t* block = sorted_.data() + f * total_n_ + begin;
+    std::size_t write = 0, spill = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t id = block[j];
+      if (left_mask_[id]) {
+        block[write++] = id;
+      } else {
+        part_scratch_[spill++] = id;
+      }
+    }
+    std::copy(part_scratch_.begin(),
+              part_scratch_.begin() + static_cast<std::ptrdiff_t>(spill), block + write);
+  }
 
   Node node;
   node.feature = best_feature;
@@ -146,8 +229,8 @@ int DecisionTree::build(const features::Dataset& data, std::vector<std::size_t>&
   node.depth = depth;
   const int id = static_cast<int>(nodes_.size());
   nodes_.push_back(std::move(node));
-  const int left = build(data, indices, begin, mid, depth + 1, num_classes);
-  const int right = build(data, indices, mid, end, depth + 1, num_classes);
+  const int left = build(begin, mid, depth + 1);
+  const int right = build(mid, end, depth + 1);
   nodes_[static_cast<std::size_t>(id)].left = left;
   nodes_[static_cast<std::size_t>(id)].right = right;
   return id;
@@ -171,6 +254,24 @@ int DecisionTree::predict(const features::FeatureVector& x) const {
 
 const std::vector<double>& DecisionTree::predict_proba(const features::FeatureVector& x) const {
   return leaf_for(x).proba;
+}
+
+const std::vector<double>& DecisionTree::predict_proba_row(
+    const features::DatasetMatrix& data, std::size_t row) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not trained");
+  const Node* node = &nodes_.front();
+  while (node->feature >= 0) {
+    const std::size_t f = static_cast<std::size_t>(node->feature);
+    if (f >= data.cols()) throw std::invalid_argument("DecisionTree: feature dim mismatch");
+    node = &nodes_[static_cast<std::size_t>(data.at(row, f) <= node->threshold ? node->left
+                                                                               : node->right)];
+  }
+  return node->proba;
+}
+
+int DecisionTree::predict_row(const features::DatasetMatrix& data, std::size_t row) const {
+  const auto& proba = predict_proba_row(data, row);
+  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
 }
 
 std::vector<DecisionTree::ExportedNode> DecisionTree::export_nodes() const {

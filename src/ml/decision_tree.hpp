@@ -2,9 +2,21 @@
 // Forest the paper selects for its classifier (Table VIII: trees = 100).
 //
 // Split search samples candidate thresholds from the node's observed
-// values (histogram-style) rather than sorting every feature at every
-// node; with per-node feature subsampling (mtry) this is the standard
-// random-forest recipe and keeps training linear in node size.
+// values (histogram-style) rather than scoring every midpoint; with
+// per-node feature subsampling (mtry) this is the standard random-forest
+// recipe and keeps training linear in node size.
+//
+// The trainer is columnar and presorted (sklearn/XGBoost-exact style):
+// each feature column of the DatasetMatrix is argsorted once per dataset,
+// each tree expands that order through its bootstrap multiplicities once,
+// and the sorted per-feature index partitions are maintained down the tree
+// with stable partitions. Candidate thresholds are still drawn from the
+// node values with the same RNG stream as the original per-candidate
+// rescan trainer, but all candidates of a feature are scored in ONE
+// incremental class-count sweep over the node's sorted order. Split
+// decisions, thresholds, tie order, and the RNG stream are unchanged, so
+// trained trees are bit-identical to the historical AoS trainer (pinned
+// by tests/test_columnar_ml.cpp against a reference implementation).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +25,7 @@
 
 #include "common/rng.hpp"
 #include "features/dataset.hpp"
+#include "features/matrix.hpp"
 
 namespace ltefp::ml {
 
@@ -31,15 +44,27 @@ class DecisionTree {
   explicit DecisionTree(TreeConfig config = {}, std::uint64_t seed = 1);
 
   /// Fits on the subset of `data` given by `indices` (duplicates allowed —
-  /// this is how the forest passes bootstrap resamples).
-  void fit(const features::Dataset& data, std::span<const std::size_t> indices,
+  /// this is how the forest passes bootstrap resamples). Row order of
+  /// `indices` is significant: candidate thresholds are drawn from node
+  /// positions.
+  void fit(const features::DatasetMatrix& data, std::span<const std::size_t> indices,
            int num_classes);
 
-  /// Fits on the whole dataset.
+  /// Fits on every row of the matrix.
+  void fit(const features::DatasetMatrix& data, int num_classes);
+
+  /// AoS convenience overloads: transpose once, then fit columnar.
+  void fit(const features::Dataset& data, std::span<const std::size_t> indices,
+           int num_classes);
   void fit(const features::Dataset& data, int num_classes);
 
   int predict(const features::FeatureVector& x) const;
   const std::vector<double>& predict_proba(const features::FeatureVector& x) const;
+
+  /// Columnar traversal: leaf distribution / label for one matrix row.
+  const std::vector<double>& predict_proba_row(const features::DatasetMatrix& data,
+                                               std::size_t row) const;
+  int predict_row(const features::DatasetMatrix& data, std::size_t row) const;
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int depth() const;
@@ -70,20 +95,29 @@ class DecisionTree {
     std::vector<double> proba;  // leaf class distribution
   };
 
-  int build(const features::Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
-            std::size_t end, int depth, int num_classes);
+  int build(std::size_t begin, std::size_t end, int depth);
   const Node& leaf_for(const features::FeatureVector& x) const;
 
   TreeConfig config_;
   Rng rng_;
   std::vector<Node> nodes_;
   int num_classes_ = 0;
-  // Split-search scratch, reused across nodes: the current node's labels
-  // and one feature's values, gathered once per (node, feature) so the
-  // threshold-candidate loop scans flat arrays instead of re-chasing
-  // indices[i] -> sample -> features[f] for every candidate.
-  std::vector<double> node_values_;
-  std::vector<int> node_labels_;
+
+  // --- fit-scoped state (valid only inside fit/build) -------------------
+  const features::DatasetMatrix* matrix_ = nullptr;
+  std::size_t total_n_ = 0;       // number of bootstrap entries
+  std::vector<std::size_t> idx_;  // node-order entries; std::partition'd per split
+  // Per-feature value-sorted entries, cols() blocks of total_n_ row ids,
+  // partitioned in lockstep with idx_ (stable, so blocks stay sorted).
+  std::vector<std::uint32_t> sorted_;
+  std::vector<std::uint32_t> part_scratch_;   // stable-partition spill buffer
+  std::vector<std::uint32_t> boot_mult_;      // bootstrap multiplicity per row
+  std::vector<unsigned char> left_mask_;      // per dataset row: goes left?
+  std::vector<double> cand_threshold_;        // per candidate
+  std::vector<int> cand_order_;               // candidates by ascending threshold
+  std::vector<std::size_t> running_counts_;   // sweep class counts
+  std::vector<double> cand_left_counts_;      // candidates x classes snapshot
+  std::vector<double> cand_n_left_;           // per candidate
 };
 
 }  // namespace ltefp::ml

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "features/matrix.hpp"
 
 namespace ltefp::ml {
 
@@ -13,19 +16,28 @@ HierarchicalClassifier::HierarchicalClassifier(std::function<int(int)> group_of,
 
 void HierarchicalClassifier::fit(const Dataset& train) {
   if (train.empty()) throw std::invalid_argument("HierarchicalClassifier::fit: empty dataset");
-  num_labels_ = static_cast<int>(train.class_histogram().size());
+  const features::DatasetMatrix matrix(train);
+  fit_rows(matrix, matrix.all_rows());
+}
 
-  // Stage 1: coarse-group dataset.
-  Dataset coarse;
-  coarse.feature_names = train.feature_names;
-  for (const auto& s : train.samples) {
-    coarse.add(s.features, group_of_(s.label));
+void HierarchicalClassifier::fit_rows(const features::DatasetMatrix& train,
+                                      std::span<const std::uint32_t> rows) {
+  if (rows.empty()) throw std::invalid_argument("HierarchicalClassifier::fit: empty dataset");
+  num_labels_ = static_cast<int>(train.class_histogram(rows).size());
+
+  // Stage 1: coarse-group labels over the shared feature columns. Rows
+  // outside this fit's subset keep a dummy label; they are never visited.
+  std::vector<int> coarse_labels(train.rows(), 0);
+  for (const std::uint32_t row : rows) {
+    coarse_labels[row] = group_of_(train.label(row));
   }
-  coarse.label_names.resize(static_cast<std::size_t>(num_groups_));
+  const auto coarse = train.with_labels(
+      std::move(coarse_labels), std::vector<std::string>(static_cast<std::size_t>(num_groups_)));
   group_model_ = factory_();
-  group_model_->fit(coarse);
+  group_model_->fit_rows(coarse, rows);
 
-  // Stage 2: one fine model per group over that group's labels.
+  // Stage 2: one fine model per group over that group's labels, again as
+  // a relabeled view plus the group's row subset.
   stages_.clear();
   stages_.resize(static_cast<std::size_t>(num_groups_));
   for (int g = 0; g < num_groups_; ++g) {
@@ -35,22 +47,25 @@ void HierarchicalClassifier::fit(const Dataset& train) {
       if (group_of_(label) == g) stage.global_labels.push_back(label);
     }
     if (stage.global_labels.empty()) continue;
-    Dataset fine;
-    fine.feature_names = train.feature_names;
-    fine.label_names.resize(stage.global_labels.size());
-    for (const auto& s : train.samples) {
-      if (group_of_(s.label) != g) continue;
+    std::vector<int> fine_labels(train.rows(), 0);
+    std::vector<std::uint32_t> group_rows;
+    for (const std::uint32_t row : rows) {
+      const int label = train.label(row);
+      if (group_of_(label) != g) continue;
       const auto it =
-          std::find(stage.global_labels.begin(), stage.global_labels.end(), s.label);
-      fine.add(s.features, static_cast<int>(it - stage.global_labels.begin()));
+          std::find(stage.global_labels.begin(), stage.global_labels.end(), label);
+      fine_labels[row] = static_cast<int>(it - stage.global_labels.begin());
+      group_rows.push_back(row);
     }
-    if (fine.empty()) {
+    if (group_rows.empty()) {
       stage.global_labels.clear();
       continue;
     }
     if (stage.global_labels.size() == 1) continue;  // degenerate: single app
+    const auto fine = train.with_labels(
+        std::move(fine_labels), std::vector<std::string>(stage.global_labels.size()));
     stage.model = factory_();
-    stage.model->fit(fine);
+    stage.model->fit_rows(fine, group_rows);
   }
 }
 
@@ -66,6 +81,38 @@ int HierarchicalClassifier::predict(const FeatureVector& x) const {
   if (!stage.model) return stage.global_labels.front();
   const int local = stage.model->predict(x);
   return stage.global_labels[static_cast<std::size_t>(local)];
+}
+
+std::vector<int> HierarchicalClassifier::predict_rows(
+    const features::DatasetMatrix& data, std::span<const std::uint32_t> rows) const {
+  if (!group_model_) throw std::logic_error("HierarchicalClassifier: not trained");
+  // Batch the coarse stage over all rows, then each fine stage over the
+  // rows routed to its group — same decisions as per-sample predict(), but
+  // every stage runs its own block-parallel batch traversal.
+  const auto groups = group_model_->predict_rows(data, rows);
+  std::vector<int> out(rows.size(), 0);
+  std::vector<std::vector<std::uint32_t>> rows_of_group(static_cast<std::size_t>(num_groups_));
+  std::vector<std::vector<std::size_t>> slots_of_group(static_cast<std::size_t>(num_groups_));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto g = static_cast<std::size_t>(groups[i]);
+    rows_of_group[g].push_back(rows[i]);
+    slots_of_group[g].push_back(i);
+  }
+  for (int g = 0; g < num_groups_; ++g) {
+    const auto& stage = stages_[static_cast<std::size_t>(g)];
+    const auto& member_rows = rows_of_group[static_cast<std::size_t>(g)];
+    const auto& slots = slots_of_group[static_cast<std::size_t>(g)];
+    if (member_rows.empty() || stage.global_labels.empty()) continue;  // out stays 0
+    if (!stage.model) {
+      for (const std::size_t slot : slots) out[slot] = stage.global_labels.front();
+      continue;
+    }
+    const auto locals = stage.model->predict_rows(data, member_rows);
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      out[slots[j]] = stage.global_labels[static_cast<std::size_t>(locals[j])];
+    }
+  }
+  return out;
 }
 
 std::vector<double> HierarchicalClassifier::predict_proba(const FeatureVector& x) const {

@@ -4,10 +4,17 @@
 // per-class second stage identifies the individual app — "We first
 // identify the class of the application and then identify individual apps
 // subsequently."
+//
+// Training runs on columnar label views: the coarse stage and each
+// per-group fine stage share the one DatasetMatrix's feature columns (and
+// its cached per-column argsort) via DatasetMatrix::with_labels — no
+// feature copies per stage.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "features/dataset.hpp"
@@ -25,7 +32,11 @@ class HierarchicalClassifier final : public Classifier {
   HierarchicalClassifier(std::function<int(int)> group_of, int num_groups, Factory factory);
 
   void fit(const Dataset& train) override;
+  void fit_rows(const features::DatasetMatrix& train,
+                std::span<const std::uint32_t> rows) override;
   int predict(const FeatureVector& x) const override;
+  std::vector<int> predict_rows(const features::DatasetMatrix& data,
+                                std::span<const std::uint32_t> rows) const override;
   std::vector<double> predict_proba(const FeatureVector& x) const override;
   const char* name() const override { return "Hierarchical"; }
 

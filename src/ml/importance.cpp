@@ -1,19 +1,33 @@
 #include "ml/importance.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "features/matrix.hpp"
 
 namespace ltefp::ml {
 namespace {
 
-double accuracy_of(const Classifier& model, const Dataset& data) {
-  std::size_t correct = 0;
-  for (const auto& s : data.samples) {
-    if (model.predict(s.features) == s.label) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(data.size());
+// Accuracy over the matrix with column `f` read through permutation
+// `perm` (empty = unpermuted). Gathers each row into per-chunk scratch and
+// swaps in the permuted value — no dataset copy per permutation round.
+double accuracy_of(const Classifier& model, const features::DatasetMatrix& data, std::size_t f,
+                   std::span<const std::size_t> perm) {
+  const std::size_t n = data.rows();
+  std::vector<unsigned char> hit(n, 0);
+  parallel_for(n, /*chunk=*/16, [&](std::size_t begin, std::size_t end) {
+    features::FeatureVector x(data.cols());
+    for (std::size_t i = begin; i < end; ++i) {
+      data.gather_row(i, x);
+      if (!perm.empty()) x[f] = data.at(perm[i], f);
+      hit[i] = model.predict(x) == data.label(i) ? 1 : 0;
+    }
+  });
+  const auto correct = std::accumulate(hit.begin(), hit.end(), std::size_t{0});
+  return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 }  // namespace
@@ -24,26 +38,18 @@ std::vector<FeatureImportance> permutation_importance(const Classifier& model,
   if (data.empty()) throw std::invalid_argument("permutation_importance: empty dataset");
   if (repeats < 1) throw std::invalid_argument("permutation_importance: repeats must be >= 1");
 
-  const double baseline = accuracy_of(model, data);
-  const std::size_t dims = data.samples.front().features.size();
+  const features::DatasetMatrix matrix(data);
+  const double baseline = accuracy_of(model, matrix, 0, {});
+  const std::size_t dims = matrix.cols();
   Rng rng(seed);
 
   std::vector<FeatureImportance> out;
   out.reserve(dims);
-  Dataset shuffled = data;
   for (std::size_t f = 0; f < dims; ++f) {
     double total_drop = 0.0;
     for (int r = 0; r < repeats; ++r) {
-      // Permute column f.
-      const auto perm = rng.permutation(data.size());
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        shuffled.samples[i].features[f] = data.samples[perm[i]].features[f];
-      }
-      total_drop += baseline - accuracy_of(model, shuffled);
-    }
-    // Restore the column.
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      shuffled.samples[i].features[f] = data.samples[i].features[f];
+      const auto perm = rng.permutation(matrix.rows());
+      total_drop += baseline - accuracy_of(model, matrix, f, perm);
     }
     FeatureImportance fi;
     fi.feature = f;

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+#include "features/matrix.hpp"
 #include "ml/crossval.hpp"
 
 namespace ltefp::ml {
@@ -15,25 +16,42 @@ Knn::Knn(KnnConfig config) : config_(config) {
 
 void Knn::fit(const Dataset& train) {
   if (train.empty()) throw std::invalid_argument("Knn::fit: empty dataset");
-  standardizer_.fit(train);
+  const features::DatasetMatrix matrix(train);
+  fit_rows(matrix, matrix.all_rows());
+}
+
+void Knn::fit_rows(const features::DatasetMatrix& train,
+                   std::span<const std::uint32_t> rows) {
+  if (rows.empty()) throw std::invalid_argument("Knn::fit: empty dataset");
+  standardizer_.fit_rows(train, rows);
   points_.clear();
   labels_.clear();
-  points_.reserve(train.size());
-  labels_.reserve(train.size());
+  points_.reserve(rows.size());
+  labels_.reserve(rows.size());
+  FeatureVector raw(train.cols());
   int max_label = 0;
-  for (const auto& s : train.samples) {
-    points_.push_back(standardizer_.transform(s.features));
-    labels_.push_back(s.label);
-    max_label = std::max(max_label, s.label);
+  for (const std::uint32_t row : rows) {
+    train.gather_row(row, raw);
+    FeatureVector z(raw.size());
+    standardizer_.transform(raw, z);
+    points_.push_back(std::move(z));
+    const int label = train.label(row);
+    labels_.push_back(label);
+    max_label = std::max(max_label, label);
   }
   num_classes_ = max_label + 1;
 }
 
-std::vector<int> Knn::neighbor_labels(const FeatureVector& x) const {
+void Knn::neighbor_proba(std::span<const double> x, Scratch& scratch) const {
   if (points_.empty()) throw std::logic_error("Knn: not trained");
-  const FeatureVector q = standardizer_.transform(x);
-  // Max-heap of (distance, label) keeping the k smallest distances.
-  std::priority_queue<std::pair<double, int>> heap;
+  scratch.q.resize(x.size());
+  standardizer_.transform(x, scratch.q);
+  const FeatureVector& q = scratch.q;
+  // Max-heap of (distance, label) keeping the k smallest distances — the
+  // same push_heap/pop_heap discipline std::priority_queue uses, but on a
+  // reusable buffer.
+  auto& heap = scratch.heap;
+  heap.clear();
   const auto k = static_cast<std::size_t>(config_.k);
   for (std::size_t i = 0; i < points_.size(); ++i) {
     double d = 0.0;
@@ -41,35 +59,53 @@ std::vector<int> Knn::neighbor_labels(const FeatureVector& x) const {
     for (std::size_t f = 0; f < p.size(); ++f) {
       const double diff = p[f] - q[f];
       d += diff * diff;
-      if (heap.size() == k && d > heap.top().first) break;  // early exit
+      if (heap.size() == k && d > heap.front().first) break;  // early exit
     }
     if (heap.size() < k) {
-      heap.emplace(d, labels_[i]);
-    } else if (d < heap.top().first) {
-      heap.pop();
-      heap.emplace(d, labels_[i]);
+      heap.emplace_back(d, labels_[i]);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (d < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d, labels_[i]};
+      std::push_heap(heap.begin(), heap.end());
     }
   }
-  std::vector<int> out;
-  out.reserve(heap.size());
-  while (!heap.empty()) {
-    out.push_back(heap.top().second);
-    heap.pop();
+  scratch.proba.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& [dist, label] : heap) {
+    ++scratch.proba[static_cast<std::size_t>(label)];
   }
-  return out;
+  for (double& p : scratch.proba) p /= static_cast<double>(heap.size());
+}
+
+int Knn::predict_span(std::span<const double> x, Scratch& scratch) const {
+  neighbor_proba(x, scratch);
+  return static_cast<int>(
+      std::max_element(scratch.proba.begin(), scratch.proba.end()) - scratch.proba.begin());
 }
 
 std::vector<double> Knn::predict_proba(const FeatureVector& x) const {
-  std::vector<double> proba(static_cast<std::size_t>(num_classes_), 0.0);
-  const auto labels = neighbor_labels(x);
-  for (const int label : labels) ++proba[static_cast<std::size_t>(label)];
-  for (double& p : proba) p /= static_cast<double>(labels.size());
-  return proba;
+  Scratch scratch;
+  neighbor_proba(x, scratch);
+  return scratch.proba;
 }
 
 int Knn::predict(const FeatureVector& x) const {
-  const auto proba = predict_proba(x);
-  return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+  Scratch scratch;
+  return predict_span(x, scratch);
+}
+
+std::vector<int> Knn::predict_rows(const features::DatasetMatrix& data,
+                                   std::span<const std::uint32_t> rows) const {
+  std::vector<int> out(rows.size());
+  parallel_for(rows.size(), /*chunk=*/16, [&](std::size_t begin, std::size_t end) {
+    Scratch scratch;
+    FeatureVector raw(data.cols());
+    for (std::size_t i = begin; i < end; ++i) {
+      data.gather_row(rows[i], raw);
+      out[i] = predict_span(raw, scratch);
+    }
+  });
+  return out;
 }
 
 int select_k_by_cross_validation(const Dataset& data, int k_max, int folds, std::uint64_t seed) {

@@ -5,7 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "features/matrix.hpp"
 
 namespace ltefp::ml {
 
@@ -13,8 +15,8 @@ LogisticRegression::LogisticRegression(LogRegConfig config) : config_(config) {
   if (config_.c <= 0.0) throw std::invalid_argument("LogisticRegression: C must be positive");
 }
 
-std::vector<double> LogisticRegression::softmax_scores(const FeatureVector& std_x) const {
-  std::vector<double> scores(static_cast<std::size_t>(num_classes_));
+void LogisticRegression::softmax_scores(std::span<const double> std_x,
+                                        std::span<double> scores) const {
   for (int c = 0; c < num_classes_; ++c) {
     const auto& w = weights_[static_cast<std::size_t>(c)];
     double z = w.back();  // bias
@@ -28,27 +30,52 @@ std::vector<double> LogisticRegression::softmax_scores(const FeatureVector& std_
     sum += z;
   }
   for (double& z : scores) z /= sum;
+}
+
+std::vector<double> LogisticRegression::softmax_scores(const FeatureVector& std_x) const {
+  std::vector<double> scores(static_cast<std::size_t>(num_classes_));
+  softmax_scores(std_x, scores);
   return scores;
 }
 
 void LogisticRegression::fit(const Dataset& train) {
   if (train.empty()) throw std::invalid_argument("LogisticRegression::fit: empty dataset");
-  standardizer_.fit(train);
+  const features::DatasetMatrix matrix(train);
+  fit_rows(matrix, matrix.all_rows());
+}
 
-  const auto hist = train.class_histogram();
-  num_classes_ = static_cast<int>(hist.size());
-  const std::size_t dims = train.feature_count();
-  weights_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(dims + 1, 0.0));
+void LogisticRegression::fit_rows(const features::DatasetMatrix& train,
+                                  std::span<const std::uint32_t> rows) {
+  if (rows.empty()) throw std::invalid_argument("LogisticRegression::fit: empty dataset");
+  standardizer_.fit_rows(train, rows);
 
-  // Pre-standardise the training set once.
   std::vector<FeatureVector> xs;
-  xs.reserve(train.size());
-  for (const auto& s : train.samples) xs.push_back(standardizer_.transform(s.features));
+  std::vector<int> labels;
+  xs.reserve(rows.size());
+  labels.reserve(rows.size());
+  FeatureVector raw(train.cols());
+  for (const std::uint32_t row : rows) {
+    train.gather_row(row, raw);
+    FeatureVector z(raw.size());
+    standardizer_.transform(raw, z);
+    xs.push_back(std::move(z));
+    labels.push_back(train.label(row));
+  }
+  fit_impl(xs, labels, static_cast<int>(train.class_histogram(rows).size()));
+}
+
+void LogisticRegression::fit_impl(const std::vector<FeatureVector>& xs,
+                                  const std::vector<int>& labels, int num_classes) {
+  num_classes_ = num_classes;
+  const std::size_t n = xs.size();
+  const std::size_t dims = xs.front().size();
+  weights_.assign(static_cast<std::size_t>(num_classes_), std::vector<double>(dims + 1, 0.0));
 
   const double lambda = 1.0 / config_.c;  // L2 strength
   Rng rng(config_.seed);
-  std::vector<std::size_t> order(train.size());
+  std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> proba(static_cast<std::size_t>(num_classes_));
 
   const auto batch = static_cast<std::size_t>(std::max(1, config_.batch_size));
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -62,8 +89,8 @@ void LogisticRegression::fit(const Dataset& train) {
                                             std::vector<double>(dims + 1, 0.0));
       for (std::size_t i = start; i < stop; ++i) {
         const std::size_t idx = order[i];
-        const auto proba = softmax_scores(xs[idx]);
-        const int y = train.samples[idx].label;
+        softmax_scores(xs[idx], proba);
+        const int y = labels[idx];
         for (int c = 0; c < num_classes_; ++c) {
           const double err = proba[static_cast<std::size_t>(c)] - (c == y ? 1.0 : 0.0);
           auto& g = grad[static_cast<std::size_t>(c)];
@@ -76,7 +103,7 @@ void LogisticRegression::fit(const Dataset& train) {
         auto& w = weights_[static_cast<std::size_t>(c)];
         const auto& g = grad[static_cast<std::size_t>(c)];
         for (std::size_t d = 0; d < dims; ++d) {
-          w[d] -= scale * (g[d] + lambda * w[d] / static_cast<double>(train.size()));
+          w[d] -= scale * (g[d] + lambda * w[d] / static_cast<double>(n));
         }
         w[dims] -= scale * g[dims];  // bias unregularised
       }
@@ -92,6 +119,24 @@ std::vector<double> LogisticRegression::predict_proba(const FeatureVector& x) co
 int LogisticRegression::predict(const FeatureVector& x) const {
   const auto proba = predict_proba(x);
   return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<int> LogisticRegression::predict_rows(const features::DatasetMatrix& data,
+                                                  std::span<const std::uint32_t> rows) const {
+  if (weights_.empty()) throw std::logic_error("LogisticRegression: not trained");
+  std::vector<int> out(rows.size());
+  parallel_for(rows.size(), /*chunk=*/64, [&](std::size_t begin, std::size_t end) {
+    FeatureVector raw(data.cols());
+    FeatureVector z(data.cols());
+    std::vector<double> scores(static_cast<std::size_t>(num_classes_));
+    for (std::size_t i = begin; i < end; ++i) {
+      data.gather_row(rows[i], raw);
+      standardizer_.transform(raw, z);
+      softmax_scores(z, scores);
+      out[i] = static_cast<int>(std::max_element(scores.begin(), scores.end()) - scores.begin());
+    }
+  });
+  return out;
 }
 
 }  // namespace ltefp::ml

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "features/dataset.hpp"
@@ -29,15 +30,25 @@ class LogisticRegression final : public Classifier {
   explicit LogisticRegression(LogRegConfig config = {});
 
   void fit(const Dataset& train) override;
+  void fit_rows(const features::DatasetMatrix& train,
+                std::span<const std::uint32_t> rows) override;
   int predict(const FeatureVector& x) const override;
   std::vector<double> predict_proba(const FeatureVector& x) const override;
+  std::vector<int> predict_rows(const features::DatasetMatrix& data,
+                                std::span<const std::uint32_t> rows) const override;
   const char* name() const override { return "LogisticRegression"; }
 
   /// Weight matrix row for a class (bias last), for inspection/tests.
   const std::vector<double>& weights(int cls) const { return weights_[static_cast<std::size_t>(cls)]; }
 
  private:
+  /// Softmax over class scores of a standardised sample, written into
+  /// caller-owned `scores` (size num_classes_). Allocation-free.
+  void softmax_scores(std::span<const double> std_x, std::span<double> scores) const;
   std::vector<double> softmax_scores(const FeatureVector& std_x) const;
+  /// SGD core over pre-standardised samples; xs.size() == labels.size().
+  void fit_impl(const std::vector<FeatureVector>& xs, const std::vector<int>& labels,
+                int num_classes);
 
   LogRegConfig config_;
   features::Standardizer standardizer_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
@@ -13,17 +14,24 @@ RandomForest::RandomForest(ForestConfig config) : config_(config) {}
 
 void RandomForest::fit(const Dataset& train) {
   if (train.empty()) throw std::invalid_argument("RandomForest::fit: empty dataset");
-  const auto hist = train.class_histogram();
+  const features::DatasetMatrix matrix(train);
+  fit_rows(matrix, matrix.all_rows());
+}
+
+void RandomForest::fit_rows(const features::DatasetMatrix& train,
+                            std::span<const std::uint32_t> rows) {
+  if (rows.empty()) throw std::invalid_argument("RandomForest::fit: empty dataset");
+  const auto hist = train.class_histogram(rows);
   num_classes_ = static_cast<int>(hist.size());
 
   TreeConfig tree_config = config_.tree;
   if (tree_config.mtry == 0) {
     tree_config.mtry = std::max(
-        1, static_cast<int>(std::round(std::sqrt(static_cast<double>(train.feature_count())))));
+        1, static_cast<int>(std::round(std::sqrt(static_cast<double>(train.cols())))));
   }
 
   const auto n_boot = static_cast<std::size_t>(
-      std::max(1.0, config_.bootstrap_fraction * static_cast<double>(train.size())));
+      std::max(1.0, config_.bootstrap_fraction * static_cast<double>(rows.size())));
   // Each tree's bootstrap resample and split RNG derive from (forest seed,
   // tree index) alone — not from a shared sequential stream — so trees
   // grow concurrently into their own slots and the forest is bit-identical
@@ -32,7 +40,7 @@ void RandomForest::fit(const Dataset& train) {
   trees_ = parallel_map(static_cast<std::size_t>(config_.num_trees), [&](std::size_t t) {
     Rng rng(derive_seed({config_.seed, static_cast<std::uint64_t>(t)}));
     std::vector<std::size_t> bootstrap(n_boot);
-    for (auto& idx : bootstrap) idx = rng.index(train.size());
+    for (auto& idx : bootstrap) idx = rows[rng.index(rows.size())];
     DecisionTree tree(tree_config, rng());
     tree.fit(train, bootstrap, num_classes);
     return tree;
@@ -62,6 +70,29 @@ std::vector<double> RandomForest::predict_proba(const FeatureVector& x) const {
 int RandomForest::predict(const FeatureVector& x) const {
   const auto proba = predict_proba(x);
   return static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<int> RandomForest::predict_rows(const features::DatasetMatrix& data,
+                                            std::span<const std::uint32_t> rows) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not trained");
+  std::vector<int> out(rows.size());
+  // Block-parallel batch traversal straight over the columnar matrix: no
+  // per-sample FeatureVector gather. Trees are accumulated in index order
+  // with the same arithmetic as predict_proba, so labels match the
+  // per-sample path bit for bit.
+  parallel_for(rows.size(), /*chunk=*/64, [&](std::size_t begin, std::size_t end) {
+    std::vector<double> proba(static_cast<std::size_t>(num_classes_));
+    for (std::size_t i = begin; i < end; ++i) {
+      std::fill(proba.begin(), proba.end(), 0.0);
+      for (const auto& tree : trees_) {
+        const auto& p = tree.predict_proba_row(data, rows[i]);
+        for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
+      }
+      for (double& p : proba) p /= static_cast<double>(trees_.size());
+      out[i] = static_cast<int>(std::max_element(proba.begin(), proba.end()) - proba.begin());
+    }
+  });
+  return out;
 }
 
 }  // namespace ltefp::ml

@@ -2,9 +2,11 @@
 // "Number of tree = 100, Seed = 1"): bagged CART trees with per-node
 // feature subsampling, probability averaging across trees.
 //
-// fit() grows trees concurrently on the global pool: tree t's RNG is
-// derived from (seed, t), so the forest is bit-identical at any thread
-// count.
+// fit() transposes the dataset into one columnar DatasetMatrix and grows
+// trees concurrently on the global pool: tree t's RNG is derived from
+// (seed, t), so the forest is bit-identical at any thread count. The
+// per-column argsort lives in the matrix and is computed once, shared by
+// every tree.
 #pragma once
 
 #include <cstdint>
@@ -27,8 +29,12 @@ class RandomForest final : public Classifier {
   explicit RandomForest(ForestConfig config = {});
 
   void fit(const Dataset& train) override;
+  void fit_rows(const features::DatasetMatrix& train,
+                std::span<const std::uint32_t> rows) override;
   int predict(const FeatureVector& x) const override;
   std::vector<double> predict_proba(const FeatureVector& x) const override;
+  std::vector<int> predict_rows(const features::DatasetMatrix& data,
+                                std::span<const std::uint32_t> rows) const override;
   const char* name() const override { return "RandomForest"; }
 
   int tree_count() const { return static_cast<int>(trees_.size()); }

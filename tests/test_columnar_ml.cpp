@@ -1,0 +1,504 @@
+// Pins the columnar ML engine to the historical AoS implementations:
+//
+//  * the presorted DecisionTree/RandomForest trainer must produce
+//    serialized forests BYTE-identical to the original per-candidate
+//    rescan trainer (reimplemented here as a reference), at every seed
+//    and thread count;
+//  * fold/stage row views (fit_rows) must equal fitting the materialised
+//    subset;
+//  * cross_val_accuracy must run copy-free through fit_rows/predict_rows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "features/matrix.hpp"
+#include "ml/crossval.hpp"
+#include "ml/hierarchical.hpp"
+#include "ml/knn.hpp"
+#include "ml/logreg.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/serialize.hpp"
+
+namespace ltefp::ml {
+namespace {
+
+using features::Dataset;
+using features::DatasetMatrix;
+
+struct ThreadGuard {
+  ~ThreadGuard() { set_thread_count(0); }
+};
+
+// Synthetic dataset with deliberate value ties (quantised columns), a
+// constant column, and class imbalance — exercises the argsort tie-break,
+// the a == b candidate path, and skipped features.
+Dataset tricky_dataset(std::size_t n, int classes, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.feature_names = {"f0", "f1", "f2", "f3", "f4", "const"};
+  data.label_names.resize(static_cast<std::size_t>(classes));
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.index(static_cast<std::size_t>(classes)));
+    const double base = static_cast<double>(label);
+    data.add({rng.normal(base, 1.0),
+              std::round(rng.normal(2.0 * base, 2.0)),                    // heavy ties
+              static_cast<double>(rng.index(4)),                          // 4 distinct values
+              rng.normal(-base, 0.5),
+              std::round(rng.normal(0.0, 3.0)) / 2.0,
+              1.5},                                                       // constant column
+             label);
+  }
+  return data;
+}
+
+double gini_of(std::span<const double> counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+
+// Reference reimplementation of the historical AoS trainer (gather node
+// values per feature, rescan the node once per candidate threshold).
+// Kept verbatim in spirit: same RNG stream, same arithmetic, same
+// std::partition, so it defines the contract the presorted trainer must
+// reproduce bit for bit.
+class ReferenceTree {
+ public:
+  ReferenceTree(TreeConfig config, std::uint64_t seed) : config_(config), rng_(seed) {}
+
+  void fit(const Dataset& data, std::span<const std::size_t> indices, int num_classes) {
+    num_classes_ = num_classes;
+    std::vector<std::size_t> work(indices.begin(), indices.end());
+    build(data, work, 0, work.size(), 0);
+  }
+
+  std::vector<DecisionTree::ExportedNode> take_nodes() { return std::move(nodes_); }
+
+ private:
+  int build(const Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, int depth) {
+    const std::size_t n = end - begin;
+    std::vector<double> counts(static_cast<std::size_t>(num_classes_), 0.0);
+    for (std::size_t i = begin; i < end; ++i) {
+      ++counts[static_cast<std::size_t>(data.samples[indices[i]].label)];
+    }
+    const double node_gini = gini_of(counts, static_cast<double>(n));
+
+    const auto make_leaf = [&]() {
+      DecisionTree::ExportedNode leaf;
+      leaf.proba.resize(counts.size());
+      for (std::size_t c = 0; c < counts.size(); ++c) {
+        leaf.proba[c] = counts[c] / static_cast<double>(n);
+      }
+      const int id = static_cast<int>(nodes_.size());
+      nodes_.push_back(std::move(leaf));
+      return id;
+    };
+
+    if (depth >= config_.max_depth ||
+        n < static_cast<std::size_t>(config_.min_samples_split) || node_gini <= 1e-12) {
+      return make_leaf();
+    }
+
+    const std::size_t dims = data.samples[indices[begin]].features.size();
+    std::vector<std::size_t> tried(dims);
+    std::iota(tried.begin(), tried.end(), std::size_t{0});
+    if (config_.mtry > 0 && static_cast<std::size_t>(config_.mtry) < dims) {
+      rng_.shuffle(tried);
+      tried.resize(static_cast<std::size_t>(config_.mtry));
+    }
+
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_score = node_gini;
+    std::vector<double> left_counts(counts.size());
+    std::vector<double> right_counts(counts.size());
+    std::vector<double> values(n);
+
+    for (const std::size_t f : tried) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = data.samples[indices[begin + i]].features[f];
+        values[i] = v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (!(hi > lo)) continue;
+
+      const int candidates = std::max(1, config_.threshold_candidates);
+      for (int c = 0; c < candidates; ++c) {
+        const double a = values[rng_.index(n)];
+        const double b = values[rng_.index(n)];
+        const double threshold =
+            a == b ? (a + lo + (hi - lo) * rng_.uniform()) / 2.0 : (a + b) / 2.0;
+        std::fill(left_counts.begin(), left_counts.end(), 0.0);
+        double n_left = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (values[i] <= threshold) {
+            ++left_counts[static_cast<std::size_t>(
+                data.samples[indices[begin + i]].label)];
+            ++n_left;
+          }
+        }
+        const double n_right = static_cast<double>(n) - n_left;
+        if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) continue;
+        for (std::size_t k = 0; k < counts.size(); ++k) {
+          right_counts[k] = counts[k] - left_counts[k];
+        }
+        const double score = (n_left * gini_of(left_counts, n_left) +
+                              n_right * gini_of(right_counts, n_right)) /
+                             static_cast<double>(n);
+        if (score + 1e-12 < best_score) {
+          best_score = score;
+          best_feature = static_cast<int>(f);
+          best_threshold = threshold;
+        }
+      }
+    }
+
+    if (best_feature < 0) return make_leaf();
+
+    const auto mid_it =
+        std::partition(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                       indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
+                         return data.samples[idx]
+                                    .features[static_cast<std::size_t>(best_feature)] <=
+                                best_threshold;
+                       });
+    const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+    if (mid == begin || mid == end) return make_leaf();
+
+    DecisionTree::ExportedNode node;
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    const int left = build(data, indices, begin, mid, depth + 1);
+    const int right = build(data, indices, mid, end, depth + 1);
+    nodes_[static_cast<std::size_t>(id)].left = left;
+    nodes_[static_cast<std::size_t>(id)].right = right;
+    return id;
+  }
+
+  TreeConfig config_;
+  Rng rng_;
+  int num_classes_ = 0;
+  std::vector<DecisionTree::ExportedNode> nodes_;
+};
+
+// The historical serial RandomForest::fit, on the reference trainer.
+RandomForest reference_forest(const Dataset& train, const ForestConfig& config) {
+  const auto hist = train.class_histogram();
+  const int num_classes = static_cast<int>(hist.size());
+  TreeConfig tree_config = config.tree;
+  if (tree_config.mtry == 0) {
+    tree_config.mtry = std::max(
+        1, static_cast<int>(std::round(std::sqrt(static_cast<double>(train.feature_count())))));
+  }
+  const auto n_boot = static_cast<std::size_t>(
+      std::max(1.0, config.bootstrap_fraction * static_cast<double>(train.size())));
+  std::vector<DecisionTree> trees;
+  for (int t = 0; t < config.num_trees; ++t) {
+    Rng rng(derive_seed({config.seed, static_cast<std::uint64_t>(t)}));
+    std::vector<std::size_t> bootstrap(n_boot);
+    for (auto& idx : bootstrap) idx = rng.index(train.size());
+    ReferenceTree tree(tree_config, rng());
+    tree.fit(train, bootstrap, num_classes);
+    trees.push_back(DecisionTree::from_nodes(tree.take_nodes(), num_classes));
+  }
+  return RandomForest::from_trees(std::move(trees), num_classes);
+}
+
+std::string serialized(const RandomForest& forest) {
+  std::ostringstream out;
+  save_forest(out, forest);
+  return out.str();
+}
+
+TEST(ColumnarTrainer, ForestBitIdenticalToReferenceAcrossSeedsAndThreads) {
+  ThreadGuard guard;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Dataset data = tricky_dataset(300, 4, 100 + seed);
+    ForestConfig config;
+    config.num_trees = 12;
+    config.seed = seed;
+    const std::string expected = serialized(reference_forest(data, config));
+    for (const int threads : {1, 2, 8}) {
+      set_thread_count(threads);
+      RandomForest forest(config);
+      forest.fit(data);
+      EXPECT_EQ(serialized(forest), expected)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ColumnarTrainer, SingleClassGrowsOneLeaf) {
+  Rng rng(7);
+  Dataset data;
+  data.feature_names = {"a", "b"};
+  data.label_names.resize(1);
+  for (int i = 0; i < 50; ++i) data.add({rng.uniform(), rng.uniform()}, 0);
+  DecisionTree tree(TreeConfig{}, 3);
+  tree.fit(features::DatasetMatrix(data), 1);
+  EXPECT_EQ(tree.node_count(), 1);
+  EXPECT_EQ(tree.predict(data.samples[0].features), 0);
+}
+
+TEST(ColumnarTrainer, ConstantFeatureDatasetStillMatchesReference) {
+  // Every column constant -> no split improves, single leaf everywhere.
+  Dataset data;
+  data.feature_names = {"c0", "c1"};
+  data.label_names.resize(2);
+  for (int i = 0; i < 20; ++i) data.add({1.0, -2.0}, i % 2);
+  ForestConfig config;
+  config.num_trees = 4;
+  RandomForest forest(config);
+  forest.fit(data);
+  EXPECT_EQ(serialized(forest), serialized(reference_forest(data, config)));
+  for (const auto& tree : forest.trees()) EXPECT_EQ(tree.node_count(), 1);
+}
+
+TEST(ColumnarTrainer, EmptyIndicesThrow) {
+  const Dataset data = tricky_dataset(10, 2, 5);
+  const DatasetMatrix matrix(data);
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit(matrix, std::vector<std::size_t>{}, 2), std::invalid_argument);
+  RandomForest forest;
+  EXPECT_THROW(forest.fit_rows(matrix, {}), std::invalid_argument);
+}
+
+TEST(ColumnarTrainer, FitRowsMatchesMaterializedSubset) {
+  const Dataset data = tricky_dataset(200, 3, 11);
+  const DatasetMatrix matrix(data);
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t i = 0; i < matrix.rows(); ++i) {
+    if (i % 3 != 0) rows.push_back(i);
+  }
+  ForestConfig config;
+  config.num_trees = 8;
+  RandomForest via_view(config);
+  via_view.fit_rows(matrix, rows);
+  RandomForest via_copy(config);
+  via_copy.fit(matrix.materialize(rows));
+  EXPECT_EQ(serialized(via_view), serialized(via_copy));
+}
+
+TEST(ColumnarTrainer, PredictRowsMatchesPerSamplePredict) {
+  const Dataset data = tricky_dataset(200, 3, 13);
+  RandomForest forest(ForestConfig{.num_trees = 10});
+  forest.fit(data);
+  const DatasetMatrix matrix(data);
+  const auto batch = forest.predict_rows(matrix, matrix.all_rows());
+  ASSERT_EQ(batch.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(batch[i], forest.predict(data.samples[i].features));
+  }
+}
+
+TEST(DatasetMatrixTest, RoundTripsThroughMaterialize) {
+  const Dataset data = tricky_dataset(40, 3, 17);
+  const DatasetMatrix matrix(data);
+  ASSERT_EQ(matrix.rows(), data.size());
+  ASSERT_EQ(matrix.cols(), data.feature_count());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(matrix.label(i), data.samples[i].label);
+    for (std::size_t f = 0; f < matrix.cols(); ++f) {
+      EXPECT_EQ(matrix.at(i, f), data.samples[i].features[f]);
+    }
+  }
+  const Dataset back = matrix.materialize(matrix.all_rows());
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_EQ(back.feature_names, data.feature_names);
+  EXPECT_EQ(back.label_names, data.label_names);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(back.samples[i].features, data.samples[i].features);
+    EXPECT_EQ(back.samples[i].label, data.samples[i].label);
+  }
+}
+
+TEST(DatasetMatrixTest, SortedOrderIsAscendingWithRowTieBreak) {
+  const Dataset data = tricky_dataset(60, 3, 19);
+  const DatasetMatrix matrix(data);
+  for (std::size_t f = 0; f < matrix.cols(); ++f) {
+    const auto order = matrix.sorted_order(f);
+    ASSERT_EQ(order.size(), matrix.rows());
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const double prev = matrix.at(order[i - 1], f);
+      const double cur = matrix.at(order[i], f);
+      EXPECT_TRUE(prev < cur || (prev == cur && order[i - 1] < order[i]));
+    }
+  }
+}
+
+TEST(DatasetMatrixTest, WithLabelsSharesColumnStorage) {
+  const Dataset data = tricky_dataset(30, 3, 23);
+  const DatasetMatrix matrix(data);
+  std::vector<int> coarse(matrix.rows());
+  for (std::size_t i = 0; i < matrix.rows(); ++i) coarse[i] = matrix.label(i) % 2;
+  const DatasetMatrix view = matrix.with_labels(coarse, {"even", "odd"});
+  EXPECT_EQ(view.column(0).data(), matrix.column(0).data());  // shared, not copied
+  EXPECT_EQ(view.sorted_order(1).data(), matrix.sorted_order(1).data());
+  for (std::size_t i = 0; i < matrix.rows(); ++i) EXPECT_EQ(view.label(i), coarse[i]);
+  EXPECT_THROW(matrix.with_labels({0, 1}, {}), std::invalid_argument);
+}
+
+TEST(DatasetMatrixTest, RaggedDatasetThrows) {
+  Dataset data;
+  data.label_names.resize(2);
+  data.add({1.0, 2.0}, 0);
+  data.samples.push_back({{1.0}, 1});  // wrong dimensionality
+  EXPECT_THROW(DatasetMatrix{data}, std::invalid_argument);
+}
+
+// Counts every Classifier entry point; the columnar cross-validation loop
+// must only ever use the row-view paths.
+class SpyClassifier final : public Classifier {
+ public:
+  void fit(const Dataset&) override { ++fit_calls; }
+  void fit_rows(const features::DatasetMatrix&, std::span<const std::uint32_t>) override {
+    ++fit_rows_calls;
+  }
+  int predict(const FeatureVector&) const override {
+    ++predict_calls;
+    return 0;
+  }
+  std::vector<int> predict_rows(const features::DatasetMatrix&,
+                                std::span<const std::uint32_t> rows) const override {
+    ++predict_rows_calls;
+    return std::vector<int>(rows.size(), 0);
+  }
+  std::vector<double> predict_proba(const FeatureVector&) const override { return {1.0}; }
+  const char* name() const override { return "Spy"; }
+
+  int fit_calls = 0;
+  int fit_rows_calls = 0;
+  mutable int predict_calls = 0;
+  mutable int predict_rows_calls = 0;
+};
+
+TEST(CrossValColumnar, FoldsAreRowViewsNotCopies) {
+  const Dataset data = tricky_dataset(80, 2, 29);
+  SpyClassifier spy;
+  cross_val_accuracy(spy, data, 4, 31);
+  EXPECT_EQ(spy.fit_calls, 0) << "fold materialised a Dataset copy";
+  EXPECT_EQ(spy.predict_calls, 0) << "test fold predicted sample-by-sample";
+  EXPECT_EQ(spy.fit_rows_calls, 4);
+  EXPECT_EQ(spy.predict_rows_calls, 4);
+}
+
+// The historical copying implementation, for accuracy equality.
+double reference_cross_val(Classifier& model, const Dataset& data, int folds,
+                           std::uint64_t seed) {
+  const auto assignment = stratified_folds(data, folds, seed);
+  std::size_t correct = 0, total = 0;
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train, test;
+    train.feature_names = test.feature_names = data.feature_names;
+    train.label_names = test.label_names = data.label_names;
+    for (std::size_t i = 0; i < data.samples.size(); ++i) {
+      (assignment[i] == fold ? test : train).samples.push_back(data.samples[i]);
+    }
+    if (train.empty() || test.empty()) continue;
+    model.fit(train);
+    for (const auto& s : test.samples) {
+      if (model.predict(s.features) == s.label) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+TEST(CrossValColumnar, AccuracyEqualsCopyingReference) {
+  const Dataset data = tricky_dataset(120, 3, 37);
+  {
+    RandomForest a(ForestConfig{.num_trees = 8});
+    RandomForest b(ForestConfig{.num_trees = 8});
+    EXPECT_DOUBLE_EQ(cross_val_accuracy(a, data, 4, 41), reference_cross_val(b, data, 4, 41));
+  }
+  {
+    Knn a(KnnConfig{3});
+    Knn b(KnnConfig{3});
+    EXPECT_DOUBLE_EQ(cross_val_accuracy(a, data, 4, 41), reference_cross_val(b, data, 4, 41));
+  }
+  {
+    LogRegConfig fast;
+    fast.epochs = 10;
+    LogisticRegression a(fast);
+    LogisticRegression b(fast);
+    EXPECT_DOUBLE_EQ(cross_val_accuracy(a, data, 4, 41), reference_cross_val(b, data, 4, 41));
+  }
+}
+
+TEST(CrossValColumnar, EmptyFoldsAreSkipped) {
+  // 3 samples per class over 5 folds leaves folds 3 and 4 empty; they
+  // must be skipped, not crash or dilute the accuracy.
+  Rng rng(43);
+  Dataset data;
+  data.feature_names = {"x"};
+  data.label_names.resize(2);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 3; ++i) data.add({rng.normal(10.0 * c, 0.1)}, c);
+  }
+  RandomForest model(ForestConfig{.num_trees = 3});
+  const double acc = cross_val_accuracy(model, data, 5, 47);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(HierarchicalColumnar, FitRowsMatchesDatasetFit) {
+  const Dataset data = tricky_dataset(150, 4, 53);
+  const auto factory = [] {
+    return std::make_unique<RandomForest>(ForestConfig{.num_trees = 6});
+  };
+  const auto group_of = [](int label) { return label / 2; };
+  HierarchicalClassifier via_dataset(group_of, 2, factory);
+  via_dataset.fit(data);
+  const DatasetMatrix matrix(data);
+  HierarchicalClassifier via_rows(group_of, 2, factory);
+  via_rows.fit_rows(matrix, matrix.all_rows());
+  const auto batch = via_rows.predict_rows(matrix, matrix.all_rows());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(via_dataset.predict(data.samples[i].features), batch[i]);
+    EXPECT_EQ(via_dataset.predict(data.samples[i].features),
+              via_rows.predict(data.samples[i].features));
+  }
+}
+
+TEST(StandardizerColumnar, SpanTransformMatchesAllocatingTransform) {
+  const Dataset data = tricky_dataset(50, 2, 59);
+  features::Standardizer standardizer;
+  standardizer.fit(data);
+  features::FeatureVector out(data.feature_count());
+  for (const auto& s : data.samples) {
+    const auto expected = standardizer.transform(s.features);
+    standardizer.transform(s.features, out);
+    EXPECT_EQ(expected, out);
+  }
+}
+
+TEST(StandardizerColumnar, FitRowsMatchesFitOnMaterializedSubset) {
+  const Dataset data = tricky_dataset(70, 3, 61);
+  const DatasetMatrix matrix(data);
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t i = 0; i < matrix.rows(); i += 2) rows.push_back(i);
+  features::Standardizer via_rows;
+  via_rows.fit_rows(matrix, rows);
+  features::Standardizer via_copy;
+  via_copy.fit(matrix.materialize(rows));
+  for (const auto& s : data.samples) {
+    EXPECT_EQ(via_rows.transform(s.features), via_copy.transform(s.features));
+  }
+}
+
+}  // namespace
+}  // namespace ltefp::ml

@@ -191,6 +191,38 @@ TEST(OrderedIterationRule, SuppressedByAllow) {
       "ordered-iteration"));
 }
 
+TEST(OrderedIterationRule, FlagsAoSSamplesLoopInMlHotPath) {
+  const std::string src =
+      "void fit(const Dataset& train) {\n"
+      "  for (const auto& s : train.samples) use(s.features);\n"
+      "}\n";
+  const auto findings = lint_cpp(src, "src/ml/model.cpp");
+  ASSERT_TRUE(has_rule(findings, "ordered-iteration"));
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("DatasetMatrix"), std::string::npos);
+}
+
+TEST(OrderedIterationRule, SamplesLoopOutsideMlIsFine) {
+  // Collection/feature-extraction code builds datasets sample-by-sample by
+  // design; only src/ml/ hot paths are steered to the columnar matrix.
+  const std::string src =
+      "void windows(const Dataset& d) {\n"
+      "  for (const auto& s : d.samples) use(s);\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_cpp(src, "src/features/window.cpp"), "ordered-iteration"));
+  EXPECT_FALSE(has_rule(lint_cpp(src, "tests/test_x.cpp"), "ordered-iteration"));
+}
+
+TEST(OrderedIterationRule, IndexedSamplesLoopInMlIsFine) {
+  // Indexed loops (fold assembly, histogram builds) are not flagged — only
+  // range-fors walking the AoS samples.
+  const std::string src =
+      "void folds(const Dataset& d) {\n"
+      "  for (std::size_t i = 0; i < d.samples.size(); ++i) use(d.samples[i]);\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_cpp(src, "src/ml/crossval.cpp"), "ordered-iteration"));
+}
+
 // ---------------------------------------------------------------------------
 // decoder-hardening
 

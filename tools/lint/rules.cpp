@@ -118,7 +118,9 @@ class OrderedIterationRule final : public Rule {
   const char* id() const override { return "ordered-iteration"; }
   const char* summary() const override {
     return "flags range-for over std::unordered_{map,set}: iteration order is "
-           "unspecified and breaks bit-identical reproduction";
+           "unspecified and breaks bit-identical reproduction; in src/ml/ also "
+           "flags range-for over Dataset::samples, which belongs on the "
+           "columnar features::DatasetMatrix";
   }
 
   void check(const SourceFile& file, std::vector<Finding>& out) const override {
@@ -155,6 +157,7 @@ class OrderedIterationRule final : public Rule {
       // mentions an unordered type directly.
       std::string expr;
       bool hit = false;
+      bool samples_hit = false;
       for (std::size_t j = next_code(toks, colon); j < close; j = next_code(toks, j)) {
         if (!expr.empty() && toks[j].kind == TokKind::kIdent) expr += ' ';
         expr += toks[j].text;
@@ -163,12 +166,22 @@ class OrderedIterationRule final : public Rule {
              toks[j].text.find("unordered_") != std::string::npos)) {
           hit = true;
         }
+        if (toks[j].kind == TokKind::kIdent && toks[j].text == "samples") {
+          samples_hit = true;
+        }
       }
       if (hit) {
         add(out, *this, toks[i].line,
             "range-for over unordered container '" + expr +
                 "': iteration order is unspecified; iterate a sorted copy or "
                 "use an ordered container");
+      } else if (samples_hit && file.path.starts_with("src/ml/")) {
+        // ML hot paths are columnar: per-sample AoS walks re-gather every
+        // feature and defeat the presorted trainer's cache layout.
+        add(out, *this, toks[i].line,
+            "range-for over AoS samples '" + expr +
+                "' in an ML hot path: traverse the columnar "
+                "features::DatasetMatrix (fit_rows/predict_rows) instead");
       }
     }
   }
