@@ -21,6 +21,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attacks/collect.hpp"
@@ -28,6 +29,7 @@
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/spsc.hpp"
 #include "dtw/dtw.hpp"
 #include "features/matrix.hpp"
 #include "features/window.hpp"
@@ -39,6 +41,9 @@
 #include "ml/logreg.hpp"
 #include "ml/random_forest.hpp"
 #include "sniffer/sniffer.hpp"
+#include "stream/daemon.hpp"
+#include "stream/replay_source.hpp"
+#include "stream/verdict.hpp"
 #include "tracestore/reader.hpp"
 #include "tracestore/writer.hpp"
 
@@ -450,6 +455,115 @@ void BM_CollectTracesPar(benchmark::State& state) {
   state.counters["sessions"] = sessions;
 }
 BENCHMARK(BM_CollectTracesPar)->Args({4, 1})->Args({4, 2})->Args({4, 4})->Unit(benchmark::kMillisecond);
+
+// --- streaming daemon benchmarks -----------------------------------------
+
+void BM_SpscQueue(benchmark::State& state) {
+  // Cross-thread transfer through a ring far smaller than the item count:
+  // the measured per-item cost includes wrap-around and backpressure — the
+  // daemon's per-record hand-off floor. 0 is the shutdown sentinel.
+  constexpr std::size_t kBatch = 1 << 14;
+  SpscQueue<std::uint64_t> q(64);
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    for (;;) {
+      q.pop(v);
+      if (v == 0) return;
+      sum += v;
+    }
+  });
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) q.push(i + 1);
+  }
+  q.push(0);
+  consumer.join();
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_SpscQueue);
+
+/// Synthetic multi-lane arrival stream in merged (time, lane) order, plus a
+/// small forest trained on same-dimension features — the daemon's inputs
+/// without simulator cost.
+struct StreamBenchSetup {
+  std::vector<stream::StreamRecord> records;
+  ml::RandomForest model{ml::ForestConfig{.num_trees = 20}};
+
+  explicit StreamBenchSetup(std::size_t lanes, std::size_t per_lane) {
+    Rng rng(11);
+    model.fit(synthetic_dataset(2000, 3, rng));
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+      TimeMs time = static_cast<TimeMs>(lane);
+      for (std::size_t i = 0; i < per_lane; ++i) {
+        if (!rng.bernoulli(0.2)) time += rng.uniform_int(1, 40);
+        stream::StreamRecord r;
+        r.lane = lane;
+        r.record.time = time;
+        r.record.rnti = static_cast<lte::Rnti>(100 + lane);
+        r.record.direction =
+            rng.bernoulli(0.6) ? lte::Direction::kDownlink : lte::Direction::kUplink;
+        r.record.tb_bytes = static_cast<int>(rng.uniform_int(16, 3000));
+        r.record.cell = 1;
+        records.push_back(r);
+      }
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const stream::StreamRecord& a, const stream::StreamRecord& b) {
+                       return a.record.time != b.record.time ? a.record.time < b.record.time
+                                                             : a.lane < b.lane;
+                     });
+  }
+};
+
+void BM_StreamIngest(benchmark::State& state) {
+  // End-to-end daemon throughput (records ingested -> verdicts merged) at
+  // 1/2/4 workers over 8 lanes; ns/op across the Args is the scaling curve.
+  const StreamBenchSetup setup(8, 2000);
+  stream::StreamConfig config;
+  config.workers = static_cast<int>(state.range(0));
+  config.emit_window_verdicts = true;
+  std::size_t verdicts = 0;
+  for (auto _ : state) {
+    stream::VectorSource source(setup.records);
+    stream::CollectorSink sink;
+    stream::StreamDaemon daemon(setup.model, config);
+    const stream::StreamStats stats = daemon.run(source, sink);
+    verdicts = sink.verdicts().size();
+    benchmark::DoNotOptimize(stats.records);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(setup.records.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(setup.records.size() *
+                                               sizeof(sniffer::TraceRecord)));
+  state.counters["verdicts"] = static_cast<double>(verdicts);
+}
+BENCHMARK(BM_StreamIngest)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_StreamVerdictLatency(benchmark::State& state) {
+  // Decision latency distribution (window_end - last record, sim time) per
+  // full daemon pass; the acceptance gate is p99 under one subframe batch.
+  const StreamBenchSetup setup(8, 2000);
+  stream::StreamConfig config;
+  config.workers = 2;
+  stream::StreamStats stats;
+  for (auto _ : state) {
+    stream::VectorSource source(setup.records);
+    stream::CollectorSink sink;
+    stream::StreamDaemon daemon(setup.model, config);
+    stats = daemon.run(source, sink);
+    benchmark::DoNotOptimize(stats.window_verdicts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stats.window_verdicts));
+  state.counters["lat_p50_ms"] = stats.latency.p50();
+  state.counters["lat_p95_ms"] = stats.latency.p95();
+  state.counters["lat_p99_ms"] = stats.latency.p99();
+  state.counters["lat_max_ms"] = stats.latency.max();
+}
+BENCHMARK(BM_StreamVerdictLatency)->Unit(benchmark::kMillisecond);
 
 // --- custom main: --json / --threads + google-benchmark ------------------
 

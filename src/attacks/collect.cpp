@@ -15,7 +15,6 @@ namespace {
 
 constexpr lte::Imsi kVictimImsi = 310'410'000'000'001ULL;
 constexpr lte::Imsi kBackgroundImsiBase = 310'410'000'100'000ULL;
-constexpr TimeMs kWarmup = 2'000;  // let background UEs ramp before the session
 
 }  // namespace
 
@@ -42,7 +41,7 @@ CollectedTrace collect_trace(apps::AppId app, const CollectConfig& config) {
   sniffer.restrict_to_tmsi(sim.tmsi_of(victim));
   sim.add_observer(cell, sniffer);
 
-  sim.run_for(kWarmup);
+  sim.run_for(kSessionWarmupMs);
 
   int effective_day = config.day;
   if (config.day_jitter_range > 0) {
@@ -67,7 +66,7 @@ CollectedTrace collect_trace(apps::AppId app, const CollectConfig& config) {
   sim.run_for(config.duration);
   // Drain tail: let buffered data flush so the trace covers the session.
   sim.set_traffic_source(victim, nullptr);
-  sim.run_for(500);
+  sim.run_for(kSessionDrainMs);
 
   CollectedTrace out;
   out.app = app;

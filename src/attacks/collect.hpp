@@ -18,6 +18,19 @@
 
 namespace ltefp::attacks {
 
+/// Session timing constants, shared between collection and the streaming
+/// daemon (src/stream): collection lets background UEs ramp for the warmup
+/// before the victim app starts, and drains buffered traffic for the drain
+/// tail after it stops.
+inline constexpr TimeMs kSessionWarmupMs = 2'000;
+inline constexpr TimeMs kSessionDrainMs = 500;
+
+/// On the attacker's side, a victim stream idle for at least this long is
+/// treated as a session boundary. The value matches the 60 s clamp on the
+/// `gap_before_ms` window feature: beyond it, silence carries no
+/// fingerprint signal, so a longer wait only delays the verdict.
+inline constexpr TimeMs kSessionIdleCutoffMs = 60'000;
+
 struct CollectConfig {
   lte::Operator op = lte::Operator::kLab;
   TimeMs duration = minutes(10);   // paper: 10 minutes per trace

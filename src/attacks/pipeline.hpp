@@ -74,6 +74,11 @@ class FingerprintPipeline {
   bool trained() const { return model_ != nullptr; }
   const PipelineConfig& config() const { return config_; }
 
+  /// The trained classifier (nullptr before train()). The streaming daemon
+  /// batch-predicts through this exact model, so online verdicts match the
+  /// batch vote bit for bit.
+  const ml::Classifier* model() const { return model_.get(); }
+
   /// Window-level prediction (label = AppId index).
   int predict_window(const features::FeatureVector& x) const;
 

@@ -1,0 +1,124 @@
+// Bounded single-producer/single-consumer ring queue — the hand-off
+// between the capture side and a stream worker (src/stream).
+//
+// Design points, in the lock-free SPSC tradition (Lamport rings as used by
+// DPDK/folly):
+//   - capacity is a power of two: slot index is `count & mask`, no modulo
+//   - head/tail are monotonic counters on their own cache lines, so the
+//     producer and consumer never false-share
+//   - each side caches the other's counter and refreshes it only when the
+//     cached value says "full"/"empty" — the common case costs one relaxed
+//     load and one release store
+//   - push() blocks with backpressure: a full queue slows the producer
+//     down instead of growing without bound (the stream daemon's
+//     flow-control contract; unbounded buffering is lint-banned in
+//     src/stream)
+//
+// Synchronisation is acquire/release on the two counters only; slot data
+// is published by the release store, so the queue is ThreadSanitizer-clean
+// by construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ltefp {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity must be a power of two >= 2 (enforced; the mask trick and the
+  /// full/empty arithmetic both rely on it).
+  explicit SpscQueue(std::size_t capacity) : slots_(capacity), mask_(capacity - 1) {
+    if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
+      throw std::invalid_argument("SpscQueue: capacity must be a power of two >= 2");
+    }
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer: false when the queue is full (no blocking).
+  bool try_push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    note_depth(tail + 1 - head_cache_);
+    return true;
+  }
+
+  /// Producer: blocking push with backpressure — spins briefly, then
+  /// yields until the consumer frees a slot.
+  void push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity()) {
+      for (int spin = 0; ; ++spin) {
+        head_cache_ = head_.load(std::memory_order_acquire);
+        if (tail - head_cache_ < capacity()) break;
+        if (spin >= kSpinLimit) std::this_thread::yield();
+      }
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    note_depth(tail + 1 - head_cache_);
+  }
+
+  /// Consumer: false when the queue is empty (no blocking).
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: blocking pop — spins briefly, then yields until the
+  /// producer publishes an item.
+  void pop(T& out) {
+    for (int spin = 0; !try_pop(out); ++spin) {
+      if (spin >= kSpinLimit) std::this_thread::yield();
+    }
+  }
+
+  /// Instantaneous depth; exact only from the producer or consumer thread.
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) - head_.load(std::memory_order_acquire);
+  }
+
+  /// Deepest the queue has been, as observed at push time (may undercount
+  /// by in-flight pops, never overcounts). Producer-owned: read it from the
+  /// producer thread, or after the producer has quiesced.
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+
+  void note_depth(std::size_t depth) {
+    if (depth > high_water_) high_water_ = depth;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Counters are monotonic; the slot index is `counter & mask_`. Each is on
+  // its own cache line, as is each side's private cache of the other.
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer position
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer position
+  alignas(64) std::size_t head_cache_ = 0;        // producer-owned
+  std::size_t high_water_ = 0;                    // producer-owned
+  alignas(64) std::size_t tail_cache_ = 0;        // consumer-owned
+};
+
+}  // namespace ltefp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 namespace ltefp {
 
@@ -25,6 +27,82 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: no buckets");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t buckets) {
+  if (!(lo < hi) || buckets == 0) throw std::invalid_argument("Histogram::linear: bad range");
+  std::vector<double> bounds(buckets);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    bounds[i] = lo + width * static_cast<double>(i + 1);
+  }
+  return Histogram(std::move(bounds));
+}
+
+Histogram Histogram::exponential(double first, double factor, std::size_t buckets) {
+  if (!(first > 0.0) || !(factor > 1.0) || buckets == 0) {
+    throw std::invalid_argument("Histogram::exponential: bad parameters");
+  }
+  std::vector<double> bounds(buckets);
+  double b = first;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    bounds[i] = b;
+    b *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  // First bound >= x selects the bucket (upper bounds are inclusive);
+  // beyond the last bound falls into the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket layouts differ");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+double Histogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return bounds_[i];
+  }
+  return max_;  // rank fell into the overflow bucket; max is exact
+}
 
 double mean(std::span<const double> xs) {
   if (xs.empty()) return 0.0;

@@ -32,6 +32,54 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
+/// Fixed-bucket histogram with conservative quantile extraction — the
+/// latency instrument shared by the stream daemon and the table benches.
+/// Buckets partition the line as (-inf, b0], (b0, b1], ..., (b_{n-1}, +inf)
+/// where the upper bounds b_i are fixed at construction; add() is O(log n)
+/// and allocation-free, so it can sit on a per-verdict hot path.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing. An overflow
+  /// bucket above the last bound is always present.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `buckets` equal-width buckets spanning [lo, hi): bounds at lo + k*w.
+  static Histogram linear(double lo, double hi, std::size_t buckets);
+  /// Geometric bounds first, first*factor, first*factor^2, ... — the usual
+  /// shape for latency, where tails matter at every scale.
+  static Histogram exponential(double first, double factor, std::size_t buckets);
+
+  void add(double x);
+  /// Accumulates another histogram with the identical bucket layout
+  /// (throws otherwise). Commutative, so merging per-worker histograms in
+  /// any order yields the same totals.
+  void merge(const Histogram& other);
+
+  std::size_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }  // exact, not bucketed
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Conservative quantile, p in [0, 100]: the upper bound of the bucket
+  /// containing the sample of rank ceil(p/100 * count) — i.e. a value
+  /// guaranteed >= the true quantile (the overflow bucket reports the exact
+  /// max). Returns 0 for an empty histogram.
+  double quantile(double p) const;
+  double p50() const { return quantile(50.0); }
+  double p95() const { return quantile(95.0); }
+  double p99() const { return quantile(99.0); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; counts().back() is the overflow bucket.
+  const std::vector<std::size_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;        // ascending upper bounds
+  std::vector<std::size_t> counts_;   // bounds_.size() + 1 (overflow last)
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 double mean(std::span<const double> xs);
 double variance(std::span<const double> xs);  // population variance
 double stddev(std::span<const double> xs);

@@ -66,6 +66,7 @@ void Sniffer::on_subframe(const lte::PdcchSubframe& subframe) {
     last_seen_[rnti] = subframe.time;
     if (!rnti_allowed(rnti)) continue;
     records_.push_back(decoded.record);
+    if (record_hook_) record_hook_(decoded.record);
   }
 
   // Spurious detection surviving the activity filter (false decode). Only
@@ -79,6 +80,7 @@ void Sniffer::on_subframe(const lte::PdcchSubframe& subframe) {
     bogus.tb_bytes = static_cast<int>(rng_.uniform_int(16, 4000));
     bogus.cell = subframe.cell;
     records_.push_back(bogus);
+    if (record_hook_) record_hook_(bogus);
   }
 }
 

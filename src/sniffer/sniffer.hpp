@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -110,6 +111,15 @@ class Sniffer final : public lte::PdcchObserver {
   /// targeted-recording filter consistent with it.
   void add_manual_binding(lte::Rnti rnti, lte::Tmsi tmsi, lte::CellId cell, TimeMs from);
 
+  /// Incremental-decode tee: `hook` is invoked for every record the sniffer
+  /// logs, at the moment it is decoded — the live-ingest path the streaming
+  /// daemon (src/stream) attaches to instead of polling trace_of_tmsi()
+  /// after the fact. Records are still appended to records(); pass an empty
+  /// function to detach.
+  void set_record_hook(std::function<void(const TraceRecord&)> hook) {
+    record_hook_ = std::move(hook);
+  }
+
  private:
   bool rnti_allowed(lte::Rnti rnti) const;
 
@@ -120,6 +130,7 @@ class Sniffer final : public lte::PdcchObserver {
   std::unordered_map<lte::Rnti, TimeMs> last_seen_;
   std::unordered_set<lte::Tmsi> tmsi_allowlist_;
   std::unordered_set<lte::Rnti> allowed_rntis_;  // live bindings of allowlisted TMSIs
+  std::function<void(const TraceRecord&)> record_hook_;
   std::size_t missed_ = 0;
   std::size_t paging_ = 0;
   std::size_t rach_ = 0;

@@ -1,0 +1,279 @@
+#include "stream/daemon.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "apps/app_id.hpp"
+#include "common/parallel.hpp"
+#include "common/spsc.hpp"
+#include "features/matrix.hpp"
+
+namespace ltefp::stream {
+namespace {
+
+/// In-band queue item: a record, a watermark marker, or end-of-stream.
+struct Item {
+  enum class Kind : std::uint8_t { kRecord, kWatermark, kFlush };
+  Kind kind = Kind::kRecord;
+  StreamRecord rec;
+  TimeMs watermark = 0;
+};
+
+/// Strict total order over verdicts: times strictly increase within a
+/// lane, so (time, cell, lane) never ties across distinct verdicts.
+bool verdict_before(const VerdictRecord& a, const VerdictRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.cell != b.cell) return a.cell < b.cell;
+  return a.lane < b.lane;
+}
+
+/// Per-session vote accumulator, keyed by (lane, session).
+using VoteKey = std::pair<std::uint32_t, std::uint32_t>;
+
+struct VoteState {
+  std::vector<std::size_t> votes = std::vector<std::size_t>(apps::kNumApps, 0);
+  std::uint32_t windows = 0;
+};
+
+struct Worker {
+  explicit Worker(const StreamConfig& config)
+      : queue(config.queue_capacity),
+        assembler(config.window, config.idle_cutoff),
+        latency(Histogram::linear(0.0, static_cast<double>(kSubframeBatchMs), 64)) {}
+
+  SpscQueue<Item> queue;
+  SessionAssembler assembler;
+
+  // Published state (worker writes, driver reads) — guarded by m.
+  std::mutex m;
+  std::vector<VerdictRecord> outbox;
+  TimeMs acked = -1;
+
+  // Worker-private until join.
+  Histogram latency;
+  std::size_t window_verdicts = 0;
+  std::size_t final_verdicts = 0;
+  std::map<VoteKey, VoteState> votes;
+  std::vector<PendingWindow> pending_windows;
+  std::vector<SessionEnd> pending_ends;
+  std::vector<VerdictRecord> batch_out;
+  std::thread thread;
+};
+
+}  // namespace
+
+StreamDaemon::StreamDaemon(const ml::Classifier& model, StreamConfig config)
+    : model_(model), config_(std::move(config)) {
+  if (config_.batch_ms < 1) throw std::invalid_argument("StreamDaemon: batch_ms must be >= 1");
+  if (config_.idle_cutoff <= config_.window.window_ms) {
+    throw std::invalid_argument("StreamDaemon: idle_cutoff must exceed the window");
+  }
+  if (config_.workers < 0) throw std::invalid_argument("StreamDaemon: workers must be >= 0");
+  // Queue capacity is validated by SpscQueue at run().
+}
+
+namespace {
+
+/// Classifies one batch's pending windows, folds them into the session
+/// votes, appends the batch's verdicts (sorted), and publishes them with
+/// the acknowledged watermark.
+void process_batch(Worker& w, const ml::Classifier& model, const StreamConfig& config,
+                   TimeMs ack) {
+  w.batch_out.clear();
+  if (!w.pending_windows.empty()) {
+    features::Dataset batch;
+    for (const auto& pw : w.pending_windows) batch.add(pw.features, 0);
+    const features::DatasetMatrix matrix(batch);
+    const auto rows = matrix.all_rows();
+    const std::vector<int> predictions = model.predict_rows(matrix, rows);
+    for (std::size_t i = 0; i < w.pending_windows.size(); ++i) {
+      const PendingWindow& pw = w.pending_windows[i];
+      VoteState& vs = w.votes[VoteKey{pw.lane, pw.session}];
+      ++vs.votes[static_cast<std::size_t>(predictions[i])];
+      ++vs.windows;
+      if (pw.last_record >= 0) {
+        w.latency.add(static_cast<double>(pw.window_end - pw.last_record));
+      }
+      if (!config.emit_window_verdicts) continue;
+      const auto winner = static_cast<std::size_t>(
+          std::max_element(vs.votes.begin(), vs.votes.end()) - vs.votes.begin());
+      VerdictRecord v;
+      v.time = pw.window_end;
+      v.cell = pw.cell;
+      v.lane = pw.lane;
+      v.rnti = pw.rnti;
+      v.session = pw.session;
+      v.app = static_cast<apps::AppId>(winner);
+      v.confidence = static_cast<double>(vs.votes[winner]) / static_cast<double>(vs.windows);
+      v.windows = vs.windows;
+      v.final_verdict = false;
+      w.batch_out.push_back(v);
+      ++w.window_verdicts;
+    }
+  }
+  for (const SessionEnd& e : w.pending_ends) {
+    // A session whose records were all link-filtered away has no vote
+    // entry; the all-zero vote mirrors classify_trace's default verdict.
+    VoteState vs;
+    const auto it = w.votes.find(VoteKey{e.lane, e.session});
+    if (it != w.votes.end()) {
+      vs = std::move(it->second);
+      w.votes.erase(it);
+    }
+    const auto winner = static_cast<std::size_t>(
+        std::max_element(vs.votes.begin(), vs.votes.end()) - vs.votes.begin());
+    VerdictRecord v;
+    v.time = e.end_time;
+    v.cell = e.cell;
+    v.lane = e.lane;
+    v.rnti = e.rnti;
+    v.session = e.session;
+    v.app = static_cast<apps::AppId>(winner);
+    v.confidence = vs.windows > 0 ? static_cast<double>(vs.votes[winner]) /
+                                        static_cast<double>(vs.windows)
+                                  : 0.0;
+    v.windows = vs.windows;
+    v.final_verdict = true;
+    w.batch_out.push_back(v);
+    ++w.final_verdicts;
+  }
+  w.pending_windows.clear();
+  w.pending_ends.clear();
+  std::sort(w.batch_out.begin(), w.batch_out.end(), verdict_before);
+  {
+    const std::lock_guard<std::mutex> lock(w.m);
+    w.outbox.insert(w.outbox.end(), w.batch_out.begin(), w.batch_out.end());
+    w.acked = ack;
+  }
+}
+
+void worker_main(Worker& w, const ml::Classifier& model, const StreamConfig& config) {
+  Item item;
+  for (;;) {
+    w.queue.pop(item);
+    switch (item.kind) {
+      case Item::Kind::kRecord:
+        w.assembler.feed(item.rec, w.pending_windows, w.pending_ends);
+        break;
+      case Item::Kind::kWatermark:
+        w.assembler.advance(item.watermark, w.pending_windows, w.pending_ends);
+        process_batch(w, model, config, item.watermark);
+        break;
+      case Item::Kind::kFlush:
+        w.assembler.finish(w.pending_windows, w.pending_ends);
+        process_batch(w, model, config, std::numeric_limits<TimeMs>::max());
+        return;
+    }
+  }
+}
+
+/// Driver-side progressive merge state: verdicts pulled from a worker's
+/// outbox, consumed front to back.
+struct MergeLane {
+  std::vector<VerdictRecord> pending;
+  std::size_t pos = 0;
+};
+
+}  // namespace
+
+StreamStats StreamDaemon::run(StreamSource& source, VerdictSink& sink) {
+  const int n = config_.workers > 0 ? config_.workers : thread_count();
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers.push_back(std::make_unique<Worker>(config_));
+
+  StreamStats stats;
+  std::vector<MergeLane> merge(workers.size());
+
+  // Pulls newly published verdicts from every worker, then emits the merged
+  // prefix whose times are <= the minimum acknowledged watermark. The merge
+  // order is the strict total (time, cell, lane) order, so WHEN batches are
+  // drained affects only emission batching, never the verdict sequence.
+  const auto drain = [&] {
+    TimeMs min_acked = std::numeric_limits<TimeMs>::max();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      Worker& w = *workers[i];
+      const std::lock_guard<std::mutex> lock(w.m);
+      if (!w.outbox.empty()) {
+        merge[i].pending.insert(merge[i].pending.end(), w.outbox.begin(), w.outbox.end());
+        w.outbox.clear();
+      }
+      min_acked = std::min(min_acked, w.acked);
+    }
+    for (;;) {
+      std::size_t best = merge.size();
+      for (std::size_t i = 0; i < merge.size(); ++i) {
+        if (merge[i].pos >= merge[i].pending.size()) continue;
+        const VerdictRecord& head = merge[i].pending[merge[i].pos];
+        if (head.time > min_acked) continue;
+        if (best == merge.size() ||
+            verdict_before(head, merge[best].pending[merge[best].pos])) {
+          best = i;
+        }
+      }
+      if (best == merge.size()) break;
+      sink.emit(merge[best].pending[merge[best].pos++]);
+    }
+    for (auto& lane : merge) {
+      if (lane.pos == lane.pending.size()) {
+        lane.pending.clear();
+        lane.pos = 0;
+      }
+    }
+  };
+
+  for (auto& w : workers) {
+    Worker* raw = w.get();
+    w->thread = std::thread([raw, this] { worker_main(*raw, model_, config_); });
+  }
+
+  const TimeMs batch = config_.batch_ms;
+  TimeMs next_wm = batch;
+  StreamRecord rec;
+  while (source.next(rec)) {
+    if (rec.record.time >= next_wm) {
+      // Skip straight to the last grid point covered by this record: the
+      // intermediate watermarks would close the same windows cumulatively,
+      // so collapsing them changes batching, never verdict content/order.
+      const TimeMs wm = (rec.record.time / batch) * batch;
+      if (config_.pacer) config_.pacer(wm);
+      Item mark;
+      mark.kind = Item::Kind::kWatermark;
+      mark.watermark = wm;
+      for (auto& w : workers) w->queue.push(mark);
+      ++stats.batches;
+      next_wm = wm + batch;
+      drain();
+    }
+    Item item;
+    item.kind = Item::Kind::kRecord;
+    item.rec = rec;
+    const std::size_t shard = rec.lane % workers.size();
+    workers[shard]->queue.push(std::move(item));
+    ++stats.records;
+  }
+
+  Item flush;
+  flush.kind = Item::Kind::kFlush;
+  for (auto& w : workers) w->queue.push(flush);
+  for (auto& w : workers) w->thread.join();
+  drain();  // all workers acked TimeMs max: emits everything left
+
+  stats.queue_high_water.reserve(workers.size());
+  for (auto& w : workers) {
+    stats.sessions += w->assembler.sessions_started();
+    stats.window_verdicts += w->window_verdicts;
+    stats.final_verdicts += w->final_verdicts;
+    stats.latency.merge(w->latency);
+    stats.queue_high_water.push_back(w->queue.high_water());
+  }
+  return stats;
+}
+
+}  // namespace ltefp::stream

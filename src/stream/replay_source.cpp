@@ -1,0 +1,64 @@
+#include "stream/replay_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ltefp::stream {
+
+ReplaySource::ReplaySource(const std::string& directory, double speed) : speed_(speed) {
+  if (speed_ < 0.0) throw std::invalid_argument("ReplaySource: speed must be positive");
+  const tracestore::Corpus corpus = tracestore::Corpus::open(directory);
+  streams_.reserve(corpus.entries().size());
+  for (const auto& entry : corpus.entries()) {
+    LaneStream s;
+    s.lane = static_cast<std::uint32_t>(entry.seq);
+    s.file = std::make_unique<std::ifstream>(directory + "/" + entry.file,
+                                             std::ios::binary);
+    if (!*s.file) {
+      throw std::runtime_error("ReplaySource: cannot open " + entry.file);
+    }
+    s.reader = std::make_unique<tracestore::Reader>(*s.file);
+    streams_.push_back(std::move(s));
+  }
+  const auto later = [this](std::size_t a, std::size_t b) {
+    const StreamRecord& ra = streams_[a].head;
+    const StreamRecord& rb = streams_[b].head;
+    if (ra.record.time != rb.record.time) return ra.record.time > rb.record.time;
+    return ra.lane > rb.lane;
+  };
+  heap_.reserve(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (refill(streams_[i])) heap_.push_back(i);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+ReplaySource::~ReplaySource() = default;
+
+bool ReplaySource::refill(LaneStream& s) {
+  if (!s.reader->next(s.head.record)) return false;
+  s.head.lane = s.lane;
+  return true;
+}
+
+bool ReplaySource::next(StreamRecord& out) {
+  if (heap_.empty()) return false;
+  const auto later = [this](std::size_t a, std::size_t b) {
+    const StreamRecord& ra = streams_[a].head;
+    const StreamRecord& rb = streams_[b].head;
+    if (ra.record.time != rb.record.time) return ra.record.time > rb.record.time;
+    return ra.lane > rb.lane;
+  };
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const std::size_t idx = heap_.back();
+  out = streams_[idx].head;
+  if (refill(streams_[idx])) {
+    std::push_heap(heap_.begin(), heap_.end(), later);
+  } else {
+    heap_.pop_back();
+  }
+  ++emitted_;
+  return true;
+}
+
+}  // namespace ltefp::stream

@@ -1,0 +1,84 @@
+// Record sources for the streaming daemon.
+//
+// A StreamSource yields StreamRecords in merged (time, lane) order — the
+// global arrival order the driver shards over its workers. ReplaySource is
+// the corpus-backed implementation: it opens every .ltt entry of a
+// tracestore corpus as an incremental Reader and k-way merges them, so a
+// multi-gigabyte corpus streams at O(lanes) memory instead of being decoded
+// whole. The speed multiplier is carried as metadata for the CLI pacer; the
+// source itself is clock-free (src/ determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/session.hpp"
+#include "tracestore/corpus.hpp"
+#include "tracestore/reader.hpp"
+
+namespace ltefp::stream {
+
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+  /// Yields the next record; false at end of stream. Records arrive in
+  /// non-decreasing time order, ties broken by ascending lane.
+  virtual bool next(StreamRecord& out) = 0;
+};
+
+/// Streams an in-memory record list (tests, benchmarks). The records must
+/// already be in (time, lane) order.
+class VectorSource final : public StreamSource {
+ public:
+  explicit VectorSource(std::vector<StreamRecord> records)
+      : records_(std::move(records)) {}
+  bool next(StreamRecord& out) override {
+    if (pos_ >= records_.size()) return false;
+    out = records_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<StreamRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// K-way merges every entry of a tracestore corpus; lane = entry seq.
+class ReplaySource final : public StreamSource {
+ public:
+  /// Opens `directory` (throws TraceStoreError when absent/corrupt).
+  /// `speed` is the sim-time-per-wall-time multiplier the CLI pacer will
+  /// honor; 0 means unpaced (as fast as the pipeline drains), negative
+  /// throws.
+  explicit ReplaySource(const std::string& directory, double speed = 0.0);
+  ~ReplaySource() override;
+
+  bool next(StreamRecord& out) override;
+
+  double speed() const { return speed_; }
+  std::size_t lanes() const { return streams_.size(); }
+  std::size_t records_emitted() const { return emitted_; }
+
+ private:
+  struct LaneStream {
+    std::uint32_t lane = 0;
+    std::unique_ptr<std::ifstream> file;
+    std::unique_ptr<tracestore::Reader> reader;
+    StreamRecord head;  // next record of this lane, already decoded
+  };
+
+  bool refill(LaneStream& s);  // loads s.head; false at lane end
+
+  double speed_;
+  std::vector<LaneStream> streams_;
+  // Min-heap of indices into streams_, ordered by (head.time, lane); kept
+  // with std::make_heap/std::push_heap on a plain vector — stream code must
+  // not grow unbounded std:: queues (see ltefp-lint "bounded-queues").
+  std::vector<std::size_t> heap_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace ltefp::stream

@@ -1,0 +1,83 @@
+#include "stream/session.hpp"
+
+#include <stdexcept>
+
+namespace ltefp::stream {
+
+SessionAssembler::SessionAssembler(const features::WindowConfig& window, TimeMs idle_cutoff)
+    : window_(window), idle_cutoff_(idle_cutoff) {
+  if (idle_cutoff_ <= window_.window_ms) {
+    throw std::invalid_argument("SessionAssembler: idle cutoff must exceed the window");
+  }
+}
+
+void SessionAssembler::append_windows(std::uint32_t lane_id, const Lane& lane,
+                                      std::vector<WindowSlice>& slices,
+                                      std::vector<PendingWindow>& windows) {
+  for (auto& s : slices) {
+    PendingWindow w;
+    w.lane = lane_id;
+    w.cell = lane.cell;
+    w.rnti = lane.rnti;
+    w.session = lane.session;
+    w.window_end = s.window_end;
+    w.last_record = s.last_record;
+    w.features = std::move(s.features);
+    windows.push_back(std::move(w));
+  }
+  slices.clear();
+}
+
+void SessionAssembler::close_session(std::uint32_t lane_id, Lane& lane,
+                                     std::vector<PendingWindow>& windows,
+                                     std::vector<SessionEnd>& ends) {
+  scratch_.clear();
+  lane.windower->finish(scratch_);
+  append_windows(lane_id, lane, scratch_, windows);
+  ends.push_back(SessionEnd{lane_id, lane.cell, lane.rnti, lane.session,
+                            lane.last_raw + idle_cutoff_});
+  lane.windower.reset();
+}
+
+void SessionAssembler::feed(const StreamRecord& r, std::vector<PendingWindow>& windows,
+                            std::vector<SessionEnd>& ends) {
+  Lane& lane = lanes_[r.lane];
+  if (lane.windower && r.record.time - lane.last_raw >= idle_cutoff_) {
+    close_session(r.lane, lane, windows, ends);
+  }
+  if (!lane.windower) {
+    lane.session = lane.next_session++;
+    lane.cell = r.record.cell;
+    lane.rnti = r.record.rnti;
+    lane.windower.emplace(r.record.time, window_);
+    ++sessions_;
+  }
+  scratch_.clear();
+  lane.windower->feed(r.record, scratch_);
+  append_windows(r.lane, lane, scratch_, windows);
+  lane.last_raw = r.record.time;
+  ++records_;
+}
+
+void SessionAssembler::advance(TimeMs watermark, std::vector<PendingWindow>& windows,
+                               std::vector<SessionEnd>& ends) {
+  for (auto& [lane_id, lane] : lanes_) {
+    if (!lane.windower) continue;
+    if (lane.last_raw + idle_cutoff_ <= watermark) {
+      close_session(lane_id, lane, windows, ends);
+      continue;
+    }
+    scratch_.clear();
+    lane.windower->close_until(watermark, scratch_);
+    append_windows(lane_id, lane, scratch_, windows);
+  }
+}
+
+void SessionAssembler::finish(std::vector<PendingWindow>& windows,
+                              std::vector<SessionEnd>& ends) {
+  for (auto& [lane_id, lane] : lanes_) {
+    if (lane.windower) close_session(lane_id, lane, windows, ends);
+  }
+}
+
+}  // namespace ltefp::stream

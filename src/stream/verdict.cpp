@@ -1,0 +1,26 @@
+#include "stream/verdict.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace ltefp::stream {
+
+std::string verdict_csv_header() {
+  return "time_ms,cell,lane,rnti,session,app,confidence,windows,final";
+}
+
+std::string to_csv(const VerdictRecord& v) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%lld,%u,%u,%u,%u,%s,%.6f,%u,%d",
+                static_cast<long long>(v.time), static_cast<unsigned>(v.cell),
+                static_cast<unsigned>(v.lane), static_cast<unsigned>(v.rnti),
+                static_cast<unsigned>(v.session), apps::to_string(v.app), v.confidence,
+                static_cast<unsigned>(v.windows), v.final_verdict ? 1 : 0);
+  return line;
+}
+
+CsvSink::CsvSink(std::ostream& out) : out_(out) { out_ << verdict_csv_header() << '\n'; }
+
+void CsvSink::emit(const VerdictRecord& v) { out_ << to_csv(v) << '\n'; }
+
+}  // namespace ltefp::stream

@@ -1,0 +1,142 @@
+#include "stream/window_stream.hpp"
+
+#include <algorithm>
+
+namespace ltefp::stream {
+
+StreamingWindower::StreamingWindower(TimeMs session_start,
+                                     const features::WindowConfig& config)
+    : config_(config), session_start_(session_start), ws_(session_start) {}
+
+void StreamingWindower::feed(const sniffer::TraceRecord& r, std::vector<WindowSlice>& out) {
+  if (!lte::direction_passes(config_.link, r.direction)) return;
+  // Records before the session anchor are consumed but never windowed (the
+  // batch extractor skips them without touching the interarrival seam).
+  if (r.time < session_start_) return;
+
+  while (r.time >= ws_ + config_.window_ms) close_window(out);
+
+  // Interarrival seam: the previous frame is the last frame in this window,
+  // or — for the window's first frame — the last frame of the previous
+  // non-empty window (window_features' prev_frame_time parameter).
+  const TimeMs prev = win_last_ >= 0 ? win_last_ : prev_frame_time_;
+  if (prev >= 0) inter_.add(static_cast<double>(r.time - prev));
+
+  size_all_.add(r.tb_bytes);
+  if (r.direction == lte::Direction::kDownlink) {
+    size_dl_.add(r.tb_bytes);
+    ++dl_count_;
+    dl_bytes_ += r.tb_bytes;
+  } else {
+    size_ul_.add(r.tb_bytes);
+    ++ul_count_;
+    ul_bytes_ += r.tb_bytes;
+  }
+  if (r.time != win_last_) ++active_ms_;  // sorted input: duplicates are adjacent
+  rntis_.insert(r.rnti);
+  if (r.tb_bytes <= 50) {
+    ++tiny_;
+  } else if (r.tb_bytes <= 150) {
+    ++small_;
+  } else if (r.tb_bytes <= 400) {
+    ++mid_;
+  } else if (r.tb_bytes <= 1000) {
+    ++large_;
+  } else {
+    ++huge_;
+  }
+  sizes_.push_back(static_cast<double>(r.tb_bytes));
+  win_last_ = r.time;
+  last_time_ = r.time;
+  ++accepted_;
+}
+
+void StreamingWindower::close_until(TimeMs watermark, std::vector<WindowSlice>& out) {
+  while (ws_ + config_.window_ms <= watermark) close_window(out);
+}
+
+void StreamingWindower::finish(std::vector<WindowSlice>& out) {
+  // extract_windows iterates `ws <= last_time`: the window containing the
+  // last frame is the final one emitted.
+  while (accepted_ > 0 && ws_ <= last_time_) close_window(out);
+  pending_empty_.clear();
+}
+
+WindowSlice StreamingWindower::make_slice() const {
+  WindowSlice slice;
+  slice.window_end = ws_ + config_.window_ms;
+  slice.last_record = win_last_;
+  slice.frames = sizes_.size();
+
+  const double total_frames = static_cast<double>(sizes_.size());
+  const double total_bytes = static_cast<double>(dl_bytes_ + ul_bytes_);
+  const double gap_before =
+      prev_frame_time_ >= 0 ? static_cast<double>(ws_ - prev_frame_time_)
+                            : static_cast<double>(ws_ - session_start_);
+
+  features::FeatureVector f(features::kFeatureCount, 0.0);
+  f[0] = total_frames;
+  f[1] = total_bytes;
+  f[2] = size_all_.mean();
+  f[3] = size_all_.stddev();
+  f[4] = sizes_.empty() ? 0.0 : size_all_.min();
+  f[5] = size_all_.max();
+  f[6] = sizes_.size() >= 2 ? inter_.mean() : static_cast<double>(config_.window_ms);
+  f[7] = inter_.stddev();
+  f[8] = static_cast<double>(ws_ - session_start_) / 1000.0;
+  f[9] = total_frames > 0 ? dl_count_ / total_frames : 0.0;
+  f[10] = total_bytes > 0 ? static_cast<double>(dl_bytes_) / total_bytes : 0.0;
+  f[11] = static_cast<double>(dl_count_);
+  f[12] = static_cast<double>(ul_count_);
+  f[13] = static_cast<double>(active_ms_) / static_cast<double>(config_.window_ms);
+  f[14] = static_cast<double>(rntis_.size());
+  f[15] = std::min(gap_before, 60'000.0);
+  if (!sizes_.empty()) {
+    f[16] = tiny_ / total_frames;
+    f[17] = small_ / total_frames;
+    f[18] = mid_ / total_frames;
+    f[19] = large_ / total_frames;
+    f[20] = huge_ / total_frames;
+    median_scratch_.assign(sizes_.begin(), sizes_.end());
+    std::nth_element(median_scratch_.begin(),
+                     median_scratch_.begin() +
+                         static_cast<std::ptrdiff_t>(median_scratch_.size() / 2),
+                     median_scratch_.end());
+    f[21] = median_scratch_[median_scratch_.size() / 2];
+  }
+  slice.features = std::move(f);
+  return slice;
+}
+
+void StreamingWindower::close_window(std::vector<WindowSlice>& out) {
+  if (!sizes_.empty()) {
+    // Flush buffered interior empties first: they precede this window in
+    // the batch extractor's emission order.
+    for (auto& e : pending_empty_) out.push_back(std::move(e));
+    emitted_ += pending_empty_.size();
+    pending_empty_.clear();
+    out.push_back(make_slice());
+    ++emitted_;
+    prev_frame_time_ = win_last_;
+  } else if (config_.include_empty) {
+    pending_empty_.push_back(make_slice());
+  }
+  ws_ += config_.window_ms;
+  reset_window();
+}
+
+void StreamingWindower::reset_window() {
+  size_all_ = RunningStats();
+  size_dl_ = RunningStats();
+  size_ul_ = RunningStats();
+  inter_ = RunningStats();
+  dl_count_ = ul_count_ = 0;
+  dl_bytes_ = ul_bytes_ = 0;
+  active_ms_ = 0;
+  rntis_.clear();
+  tiny_ = small_ = mid_ = large_ = huge_ = 0;
+  sizes_.clear();
+  win_last_ = -1;
+}
+
+}  // namespace ltefp::stream

@@ -1,0 +1,95 @@
+// Incremental sliding-window feature extraction for the streaming daemon.
+//
+// StreamingWindower is the online counterpart of features::extract_windows:
+// it consumes one record at a time and keeps per-window running statistics
+// (Welford accumulators, band counters, a reused frame-size scratch), so
+// each arriving subframe costs O(1) amortized — no whole-trace rescan when
+// a window closes. The contract is bit-identity: feeding a session's
+// records through feed()/close_until()/finish() yields exactly the feature
+// vectors extract_windows(trace, session_start, config) computes, in the
+// same order, including the cross-window interarrival seam, the
+// gap-before-window feature, and include_empty interior windows.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "features/dataset.hpp"
+#include "features/window.hpp"
+#include "lte/types.hpp"
+#include "sniffer/trace.hpp"
+
+namespace ltefp::stream {
+
+/// A completed window: its feature vector plus the timing the daemon needs
+/// for verdict stamping and decision-latency measurement.
+struct WindowSlice {
+  features::FeatureVector features;
+  TimeMs window_end = 0;    // exclusive end of the window
+  TimeMs last_record = -1;  // time of the window's last frame (-1: empty)
+  std::size_t frames = 0;
+
+  bool operator==(const WindowSlice&) const = default;
+};
+
+class StreamingWindower {
+ public:
+  /// Windows are anchored at `session_start`, exactly as extract_windows
+  /// anchors window 0 and the cumulative-time feature.
+  StreamingWindower(TimeMs session_start, const features::WindowConfig& config);
+
+  /// Feeds one record (times must be non-decreasing). Windows the record
+  /// closes by crossing their end are appended to `out` in window order.
+  void feed(const sniffer::TraceRecord& r, std::vector<WindowSlice>& out);
+
+  /// Closes every window whose end is <= `watermark` — callable once all
+  /// records with time < watermark have been fed (the daemon's batch tick).
+  void close_until(TimeMs watermark, std::vector<WindowSlice>& out);
+
+  /// End of session: emits up to and including the window holding the last
+  /// record, mirroring extract_windows' `ws <= last_time` loop bound
+  /// (buffered trailing empty windows are discarded, as the batch extractor
+  /// never emits them). The windower must not be fed afterwards.
+  void finish(std::vector<WindowSlice>& out);
+
+  /// Time of the last record accepted by the link filter (-1: none yet).
+  TimeMs last_record_time() const { return last_time_; }
+  std::size_t accepted() const { return accepted_; }
+  std::size_t emitted() const { return emitted_; }
+
+ private:
+  void close_window(std::vector<WindowSlice>& out);
+  WindowSlice make_slice() const;
+  void reset_window();
+
+  features::WindowConfig config_;
+  TimeMs session_start_;
+  TimeMs ws_;                      // current window start
+  TimeMs prev_frame_time_ = -1;    // last frame before the current window
+  TimeMs last_time_ = -1;          // last accepted record overall
+  std::size_t accepted_ = 0;
+  std::size_t emitted_ = 0;
+
+  // Interior empty windows (include_empty only): buffered here and flushed
+  // ahead of the next non-empty window, so trailing empties — which the
+  // batch extractor never emits — can be dropped at finish().
+  std::vector<WindowSlice> pending_empty_;
+
+  // --- per-window accumulators (reset each window) -----------------------
+  // Mirrors features::window_features field by field; additions happen in
+  // record-arrival order, so every Welford update sequence is identical.
+  RunningStats size_all_, size_dl_, size_ul_, inter_;
+  int dl_count_ = 0, ul_count_ = 0;
+  long long dl_bytes_ = 0, ul_bytes_ = 0;
+  std::size_t active_ms_ = 0;      // distinct record times (input is sorted)
+  std::unordered_set<lte::Rnti> rntis_;  // membership/size only, never iterated
+  int tiny_ = 0, small_ = 0, mid_ = 0, large_ = 0, huge_ = 0;
+  std::vector<double> sizes_;      // frame sizes, for min/median
+  mutable std::vector<double> median_scratch_;
+  TimeMs win_last_ = -1;           // last frame time within the window
+};
+
+}  // namespace ltefp::stream

@@ -308,6 +308,33 @@ TEST(FloatEqRule, SuppressedByAllow) {
 }
 
 // ---------------------------------------------------------------------------
+// bounded-queues
+
+TEST(BoundedQueuesRule, FiresOnSeededViolations) {
+  EXPECT_TRUE(has_rule(lint_cpp("std::deque<Item> backlog;\n"), "bounded-queues"));
+  EXPECT_TRUE(has_rule(lint_cpp("std::queue<int> q;\n"), "bounded-queues"));
+  EXPECT_TRUE(
+      has_rule(lint_cpp("std::priority_queue<Head> heads;\n"), "bounded-queues"));
+}
+
+TEST(BoundedQueuesRule, BoundedAndUnqualifiedNamesAreFine) {
+  // The project's own bounded ring is the blessed hand-off.
+  EXPECT_FALSE(has_rule(lint_cpp("SpscQueue<Item> q(4096);\n"), "bounded-queues"));
+  EXPECT_FALSE(
+      has_rule(lint_cpp("ltefp::SpscQueue<Item> q(64);\n"), "bounded-queues"));
+  // Only std:: FIFOs are banned; a local identifier named `queue` is not.
+  EXPECT_FALSE(has_rule(lint_cpp("auto& queue = worker.queue;\n"), "bounded-queues"));
+  EXPECT_FALSE(has_rule(lint_cpp("my::queue<int> q;\n"), "bounded-queues"));
+}
+
+TEST(BoundedQueuesRule, SuppressedByAllow) {
+  EXPECT_FALSE(has_rule(
+      lint_cpp("// lint:allow(bounded-queues) — drained before each return\n"
+               "std::deque<Item> scratch;\n"),
+      "bounded-queues"));
+}
+
+// ---------------------------------------------------------------------------
 // Suppression hygiene
 
 TEST(Suppressions, UnknownRuleIdIsItselfAFinding) {
@@ -374,6 +401,23 @@ TEST(Config, RulesForAppliesOverridesBySpecificity) {
   // Prefix matching is per path component: "src-extra" is not under "src".
   const auto other = lint::rules_for(config, "src-extra/x.cpp");
   EXPECT_EQ(other, (std::vector<std::string>{"header-hygiene", "float-eq"}));
+}
+
+TEST(Config, StreamDirStacksBoundedQueuesOnDeterminism) {
+  // The shipped config's shape for stream code: the src-wide determinism
+  // contract plus the stream-only bounded-queues contract.
+  lint::Config config;
+  std::string error;
+  ASSERT_TRUE(lint::parse_config(
+      "[default]\nrules = [\"header-hygiene\"]\n"
+      "[dir.\"src\"]\nenable = [\"determinism\"]\n"
+      "[dir.\"src/stream\"]\nenable = [\"bounded-queues\"]\n",
+      &config, &error))
+      << error;
+  EXPECT_EQ(lint::rules_for(config, "src/stream/daemon.cpp"),
+            (std::vector<std::string>{"header-hygiene", "determinism", "bounded-queues"}));
+  EXPECT_EQ(lint::rules_for(config, "src/ml/random_forest.cpp"),
+            (std::vector<std::string>{"header-hygiene", "determinism"}));
 }
 
 TEST(Config, RulesReplaceOverridesDefaults) {

@@ -1,0 +1,146 @@
+// Tests for the bounded SPSC ring (common/spsc.hpp): capacity contract,
+// FIFO order, non-blocking edges, cross-thread backpressure, and a stress
+// pass meant to run under ThreadSanitizer (tools/check.sh runs this suite
+// in the TSan step).
+#include "common/spsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ltefp {
+namespace {
+
+TEST(SpscQueue, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(SpscQueue<int>(0), std::invalid_argument);
+  EXPECT_THROW(SpscQueue<int>(1), std::invalid_argument);
+  EXPECT_THROW(SpscQueue<int>(3), std::invalid_argument);
+  EXPECT_THROW(SpscQueue<int>(100), std::invalid_argument);
+  EXPECT_NO_THROW(SpscQueue<int>(2));
+  EXPECT_NO_THROW(SpscQueue<int>(4096));
+}
+
+TEST(SpscQueue, FifoSingleThread) {
+  SpscQueue<int> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.size(), 8u);
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SpscQueue, TryPushFullReturnsFalse) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  int out = -1;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(q.try_push(99));  // freed slot is reusable
+  EXPECT_FALSE(q.try_push(100));
+}
+
+TEST(SpscQueue, WrapAroundKeepsOrder) {
+  SpscQueue<int> q(4);
+  int out = -1;
+  // Drive the monotonic counters well past one lap of the ring.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+    ASSERT_TRUE(q.try_push(i + 1000));
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i + 1000);
+  }
+}
+
+TEST(SpscQueue, MoveOnlyFriendlyPayload) {
+  SpscQueue<std::string> q(4);
+  q.push(std::string(100, 'x'));
+  std::string out;
+  q.pop(out);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(out[0], 'x');
+}
+
+TEST(SpscQueue, BlockingPushAppliesBackpressure) {
+  SpscQueue<int> q(2);
+  ASSERT_TRUE(q.try_push(0));
+  ASSERT_TRUE(q.try_push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);  // must block until the consumer frees a slot
+    pushed.store(true, std::memory_order_release);
+  });
+  // The producer cannot complete while the queue is full. (A sleep-based
+  // "still blocked" probe would be flaky; instead verify the item count
+  // conservation below — the push must not have dropped or duplicated.)
+  int out = -1;
+  q.pop(out);
+  EXPECT_EQ(out, 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load(std::memory_order_acquire));
+  q.pop(out);
+  EXPECT_EQ(out, 1);
+  q.pop(out);
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(SpscQueue, HighWaterTracksDeepestPush) {
+  SpscQueue<int> q(8);
+  EXPECT_EQ(q.high_water(), 0u);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.high_water(), 3u);
+  int out = -1;
+  q.pop(out);
+  q.pop(out);
+  q.push(4);
+  // The mark is computed against the producer's cached head (refreshed only
+  // when the ring looks full), so it is a conservative never-underestimating
+  // depth bound — monotone, and capped by the capacity.
+  EXPECT_GE(q.high_water(), 3u);
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+TEST(SpscQueue, CrossThreadStressPreservesSequence) {
+  // One producer, one consumer, a ring far smaller than the item count:
+  // exercises wrap-around, backpressure, and the counter protocol. Run
+  // under TSan this is the data-race acceptance test for the queue.
+  constexpr std::uint64_t kItems = 200'000;
+  SpscQueue<std::uint64_t> q(64);
+  std::uint64_t sum = 0, expect_next = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      q.pop(v);
+      ordered = ordered && (v == expect_next);
+      ++expect_next;
+      sum += v;
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) q.push(i);
+  consumer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(expect_next, kItems);
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_GE(q.high_water(), 1u);
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+}  // namespace
+}  // namespace ltefp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace ltefp {
@@ -85,6 +86,113 @@ TEST(Pearson, ZeroVarianceIsZero) {
 
 TEST(Pearson, ShortInput) {
   EXPECT_EQ(pearson(std::vector<double>{1.0}, std::vector<double>{2.0}), 0.0);
+}
+
+TEST(Histogram, ConstructorValidation) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram::linear(5.0, 5.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram::linear(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, FactoryBucketLayouts) {
+  const Histogram lin = Histogram::linear(0.0, 100.0, 4);
+  EXPECT_EQ(lin.bounds(), (std::vector<double>{25.0, 50.0, 75.0, 100.0}));
+  const Histogram exp = Histogram::exponential(1.0, 2.0, 4);
+  EXPECT_EQ(exp.bounds(), (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+}
+
+TEST(Histogram, BucketBoundariesAreUpperInclusive) {
+  // Buckets partition as (-inf, 10], (10, 20], (20, +inf): a sample landing
+  // exactly on a bound belongs to the bucket it bounds.
+  Histogram h(std::vector<double>{10.0, 20.0});
+  h.add(10.0);
+  h.add(10.5);
+  h.add(20.0);
+  h.add(20.5);
+  EXPECT_EQ(h.counts(), (std::vector<std::size_t>{1, 2, 1}));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 10.0);
+  EXPECT_EQ(h.max(), 20.5);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeroes) {
+  const Histogram h = Histogram::linear(0.0, 10.0, 2);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, QuantileIsBucketUpperBound) {
+  // 100 samples, one per value 1..100, over 10-wide buckets: the rank-k
+  // sample sits in bucket ceil(k/10), so each quantile reports that
+  // bucket's upper bound — a value >= the true quantile.
+  Histogram h = Histogram::linear(0.0, 100.0, 10);
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.p50(), 50.0);
+  EXPECT_EQ(h.p95(), 100.0);
+  EXPECT_EQ(h.p99(), 100.0);
+  EXPECT_EQ(h.quantile(1.0), 10.0);
+  EXPECT_EQ(h.quantile(0.0), 10.0);  // rank clamps to the first sample
+  EXPECT_EQ(h.quantile(91.0), 100.0);
+}
+
+TEST(Histogram, ExactQuantileEdges) {
+  // Rank arithmetic at bucket edges: 10 samples in (0,1], 10 in (1,2].
+  // p50 -> rank 5 -> first bucket; p51 -> rank 6... still first; p50+eps
+  // crossing to rank 11 happens at p > 100*10/20.
+  Histogram h(std::vector<double>{1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  for (int i = 0; i < 10; ++i) h.add(1.5);
+  EXPECT_EQ(h.quantile(50.0), 1.0);   // rank 10: last sample of bucket 0
+  EXPECT_EQ(h.quantile(50.1), 2.0);   // rank 11: first sample of bucket 1
+  EXPECT_EQ(h.quantile(100.0), 2.0);
+}
+
+TEST(Histogram, OverflowBucketReportsExactMax) {
+  Histogram h = Histogram::linear(0.0, 10.0, 2);
+  h.add(3.0);
+  h.add(123.5);  // overflow
+  EXPECT_EQ(h.counts().back(), 1u);
+  EXPECT_EQ(h.quantile(100.0), 123.5);  // exact max, not a bucket bound
+  EXPECT_EQ(h.p50(), 5.0);
+}
+
+TEST(Histogram, MergeIsCommutativeAndChecksLayout) {
+  Histogram a = Histogram::linear(0.0, 10.0, 2);
+  Histogram b = Histogram::linear(0.0, 10.0, 2);
+  a.add(1.0);
+  a.add(7.0);
+  b.add(4.0);
+  b.add(42.0);
+
+  Histogram ab = a;
+  ab.merge(b);
+  Histogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.counts(), ba.counts());
+  EXPECT_EQ(ab.count(), 4u);
+  EXPECT_EQ(ab.min(), 1.0);
+  EXPECT_EQ(ab.max(), 42.0);
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+
+  // Merging an empty histogram is a no-op in both directions.
+  Histogram empty = Histogram::linear(0.0, 10.0, 2);
+  Histogram a2 = a;
+  a2.merge(empty);
+  EXPECT_EQ(a2.counts(), a.counts());
+  EXPECT_EQ(a2.min(), a.min());
+  empty.merge(a);
+  EXPECT_EQ(empty.counts(), a.counts());
+
+  Histogram other = Histogram::linear(0.0, 20.0, 2);
+  EXPECT_THROW(a2.merge(other), std::invalid_argument);
 }
 
 }  // namespace

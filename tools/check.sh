@@ -56,7 +56,7 @@ done
 # The benchmark set tracked in BENCH_micro.json. Anchored: adding a new
 # benchmark to bench_micro does not silently change this gate — extend the
 # filter (and refresh the baseline) deliberately.
-BENCH_FILTER='^BM_SnifferSubframe/16$|^BM_Dtw/180$|^BM_DtwBestMatch/[01]$|^BM_RandomForestTrain/5000$|^BM_RandomForestPredictBatch$|^BM_DatasetMatrixBuild/5000$|^BM_RandomForestTrainPar/5000/(1|2|4)$|^BM_DtwMatrixPar/24/(1|2|4)$|^BM_BlindDecodeBatchPar/0/(1|2|4)$|^BM_CollectTracesPar/4/(1|2|4)$'
+BENCH_FILTER='^BM_SnifferSubframe/16$|^BM_Dtw/180$|^BM_DtwBestMatch/[01]$|^BM_RandomForestTrain/5000$|^BM_RandomForestPredictBatch$|^BM_DatasetMatrixBuild/5000$|^BM_RandomForestTrainPar/5000/(1|2|4)$|^BM_DtwMatrixPar/24/(1|2|4)$|^BM_BlindDecodeBatchPar/0/(1|2|4)$|^BM_CollectTracesPar/4/(1|2|4)$|^BM_SpscQueue$|^BM_StreamIngest/(1|2|4)$|^BM_StreamVerdictLatency$'
 
 run_bench() {
   step "bench build (default config, as the committed baseline)"
@@ -185,7 +185,7 @@ if [[ "$sanitizers" == 1 ]]; then
     cmake -B "$ROOT/build-tsan" -S "$ROOT" -DLTEFP_SANITIZE=thread >/dev/null
     cmake --build "$ROOT/build-tsan" -j"$JOBS"
     LTEFP_THREADS=4 ctest --test-dir "$ROOT/build-tsan" -j"$JOBS" --output-on-failure \
-      -R 'Parallel|BitIdentity|Attack'
+      -R 'Parallel|BitIdentity|Attack|Stream|Spsc'
   else
     echo "TSan unavailable in this toolchain; skipping"
   fi

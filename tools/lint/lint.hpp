@@ -16,6 +16,9 @@
 //   header-hygiene     headers start with #pragma once and never say
 //                      `using namespace`
 //   float-eq           no ==/!= against floating-point literals
+//   bounded-queues     no unbounded std:: FIFOs (deque/queue/priority_queue)
+//                      in stream code; hand-offs use bounded queues with
+//                      backpressure (common/spsc.hpp)
 #pragma once
 
 #include <cstdint>

@@ -329,6 +329,44 @@ class FloatEqRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// bounded-queues
+
+// The streaming daemon's flow-control contract: every producer/consumer
+// hand-off must be a bounded queue that pushes back when full (see
+// common/spsc.hpp). An unbounded std:: FIFO in stream code silently
+// converts overload into memory growth, which is exactly the failure mode
+// the contract exists to prevent — so growable standard queues are banned
+// where the contract applies, with `// lint:allow(bounded-queues)` as the
+// reviewed escape hatch (e.g. a queue drained before each return).
+class BoundedQueuesRule final : public Rule {
+ public:
+  const char* id() const override { return "bounded-queues"; }
+  const char* summary() const override {
+    return "flags unbounded std:: FIFOs (deque/queue/priority_queue) in "
+           "stream code; use a bounded queue with backpressure";
+  }
+
+  void check(const SourceFile& file, std::vector<Finding>& out) const override {
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent ||
+          (t.text != "deque" && t.text != "queue" && t.text != "priority_queue")) {
+        continue;
+      }
+      const std::size_t p = prev_code(toks, i);
+      if (p == static_cast<std::size_t>(-1) || !is_punct(toks[p], "::")) continue;
+      const std::size_t pp = prev_code(toks, p);
+      if (pp == static_cast<std::size_t>(-1) || !is_ident(toks[pp], "std")) continue;
+      add(out, *this, t.line,
+          "std::" + t.text +
+              " grows without bound; stream hand-offs must use a bounded "
+              "queue with backpressure (common/spsc.hpp)");
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<const Rule*>& all_rules() {
@@ -337,9 +375,10 @@ const std::vector<const Rule*>& all_rules() {
   static const DecoderHardeningRule decoder_hardening;
   static const HeaderHygieneRule header_hygiene;
   static const FloatEqRule float_eq;
+  static const BoundedQueuesRule bounded_queues;
   static const std::vector<const Rule*> rules = {
       &determinism, &ordered_iteration, &decoder_hardening, &header_hygiene,
-      &float_eq,
+      &float_eq,    &bounded_queues,
   };
   return rules;
 }

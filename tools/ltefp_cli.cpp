@@ -4,6 +4,9 @@
 //   collect   capture one app session's PDCCH trace to CSV
 //   record    capture a full training corpus to a binary tracestore dir
 //   replay    run the fingerprinting experiment from a recorded corpus
+//             (--speed N switches to a rate-controlled load generator)
+//   stream    online classification: replay a corpus through the streaming
+//             daemon, emitting a live verdict CSV
 //   inspect   summarise a corpus manifest or verify one .ltt trace file
 //   train     build a labeled dataset and train + save the RF model
 //   classify  identify the app behind a captured trace CSV
@@ -15,16 +18,20 @@
 //   ltefp collect --app YouTube --operator T-Mobile --minutes 2 --out yt.csv
 //   ltefp record --operator Lab --traces 3 --minutes 2 --out corpus/
 //   ltefp replay --corpus corpus/
+//   ltefp stream --corpus corpus/ --model model.rf --speed 100 --latency-report true
 //   ltefp inspect --corpus corpus/
 //   ltefp train --operator Lab --out model.rf
 //   ltefp classify --model model.rf --trace yt.csv
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "attacks/collect.hpp"
 #include "common/parallel.hpp"
@@ -35,6 +42,7 @@
 #include "attacks/replay.hpp"
 #include "common/table.hpp"
 #include "ml/serialize.hpp"
+#include "stream/daemon.hpp"
 #include "tracestore/corpus.hpp"
 #include "tracestore/reader.hpp"
 
@@ -137,6 +145,58 @@ int cmd_record(const Args& args) {
   return 0;
 }
 
+/// Parses --speed: a positive sim-time-per-wall-time multiplier (absent: 0,
+/// meaning unpaced / feature off).
+double parse_speed(const Args& args) {
+  if (!args.get("speed")) return 0.0;
+  const double speed = args.number("speed", 0.0);
+  if (speed <= 0.0) {
+    throw std::runtime_error("--speed: expected a positive multiplier");
+  }
+  return speed;
+}
+
+/// A wall-clock pacer: sleeps so sim time advances at `speed` x real time.
+/// Lives in the CLI because clocks are lint-banned in src/ — the daemon
+/// only ever sees this as an opaque callback.
+std::function<void(TimeMs)> make_pacer(double speed) {
+  const auto start = std::chrono::steady_clock::now();
+  return [start, speed](TimeMs sim) {
+    const auto target =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        static_cast<double>(sim) / speed));
+    std::this_thread::sleep_until(target);
+  };
+}
+
+/// Load generator: streams the corpus record-by-record at the requested
+/// speed, reporting achieved throughput — for exercising downstream
+/// consumers and sizing real-time budgets without classification cost.
+int replay_load_generator(const std::string& dir, double speed) {
+  stream::ReplaySource source(dir, speed);
+  const auto pacer = make_pacer(speed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  stream::StreamRecord rec;
+  std::size_t records = 0;
+  TimeMs next_tick = stream::kSubframeBatchMs;
+  TimeMs last_time = 0;
+  while (source.next(rec)) {
+    if (rec.record.time >= next_tick) {
+      pacer(rec.record.time);
+      next_tick = (rec.record.time / stream::kSubframeBatchMs + 1) * stream::kSubframeBatchMs;
+    }
+    last_time = rec.record.time;
+    ++records;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  std::printf("load generator: %zu records over %s sim at %.0fx -> %.2fs wall, %.0f records/s\n",
+              records, format_hms(last_time).c_str(), speed, wall_s,
+              wall_s > 0 ? static_cast<double>(records) / wall_s : 0.0);
+  return 0;
+}
+
 int cmd_replay(const Args& args) {
   attacks::PipelineConfig config;
   config.replay_corpus = args.get_or("corpus", "corpus");
@@ -144,6 +204,9 @@ int cmd_replay(const Args& args) {
   if (!tracestore::Corpus::exists(config.replay_corpus)) {
     throw std::runtime_error("no corpus manifest in " + config.replay_corpus +
                              " (run `ltefp record` first)");
+  }
+  if (const double speed = parse_speed(args); speed > 0.0) {
+    return replay_load_generator(config.replay_corpus, speed);
   }
   std::fprintf(stderr, "replaying corpus %s through the fingerprinting pipeline...\n",
                config.replay_corpus.c_str());
@@ -154,6 +217,68 @@ int cmd_replay(const Args& args) {
                    fmt(s.f_score), fmt(s.precision), fmt(s.recall)});
   }
   std::printf("%s", table.render("Replay classification (corpus-backed)").c_str());
+  return 0;
+}
+
+int cmd_stream(const Args& args) {
+  const std::string dir = args.get_or("corpus", "corpus");
+  if (!tracestore::Corpus::exists(dir)) {
+    throw std::runtime_error("no corpus manifest in " + dir + " (run `ltefp record` first)");
+  }
+  const std::string model_path = args.get_or("model", "model.rf");
+  std::ifstream model_in(model_path);
+  if (!model_in) throw std::runtime_error("cannot read " + model_path);
+  const ml::RandomForest forest = ml::load_forest(model_in);
+
+  stream::StreamConfig config;
+  config.window.window_ms = static_cast<TimeMs>(args.number("window-ms", 100));
+  config.batch_ms = static_cast<TimeMs>(args.number("batch-ms",
+                                                    static_cast<double>(stream::kSubframeBatchMs)));
+  config.workers = static_cast<int>(args.number("workers", 0));  // 0: --threads / pool size
+  config.emit_window_verdicts = args.get_or("window-verdicts", "true") == "true";
+  const double speed = parse_speed(args);
+  if (speed > 0.0) config.pacer = make_pacer(speed);
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (const auto out_path = args.get("out")) {
+    out_file.open(*out_path);
+    if (!out_file) throw std::runtime_error("cannot write " + *out_path);
+    out = &out_file;
+  }
+
+  stream::ReplaySource source(dir, speed);
+  std::fprintf(stderr, "streaming %zu lanes from %s (%s, batch %lld ms)...\n", source.lanes(),
+               dir.c_str(), speed > 0 ? "paced" : "unpaced",
+               static_cast<long long>(config.batch_ms));
+  stream::CsvSink sink(*out);
+  stream::StreamDaemon daemon(forest, config);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const stream::StreamStats stats = daemon.run(source, sink);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  std::fprintf(stderr,
+               "%zu records -> %zu sessions, %zu interim + %zu final verdicts in %zu batches "
+               "(%.2fs wall, %.0f records/s)\n",
+               stats.records, stats.sessions, stats.window_verdicts, stats.final_verdicts,
+               stats.batches, wall_s,
+               wall_s > 0 ? static_cast<double>(stats.records) / wall_s : 0.0);
+  if (args.get_or("latency-report", "false") == "true") {
+    std::fprintf(stderr, "decision latency (sim ms): p50<=%.0f p95<=%.0f p99<=%.0f max=%.0f\n",
+                 stats.latency.p50(), stats.latency.p95(), stats.latency.p99(),
+                 stats.latency.max());
+    std::string depths;
+    for (std::size_t i = 0; i < stats.queue_high_water.size(); ++i) {
+      depths += (i ? " " : "") + std::to_string(stats.queue_high_water[i]);
+    }
+    std::fprintf(stderr, "queue high-water marks (capacity %zu): %s\n", config.queue_capacity,
+                 depths.c_str());
+    const bool ok = stats.latency.p99() < static_cast<double>(config.batch_ms);
+    std::fprintf(stderr, "acceptance: p99 %.0f ms %s one subframe batch (%lld ms)\n",
+                 stats.latency.p99(), ok ? "<" : ">=",
+                 static_cast<long long>(config.batch_ms));
+  }
   return 0;
 }
 
@@ -313,14 +438,17 @@ int cmd_info(const Args&) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: ltefp <collect|record|replay|inspect|train|classify|history|correlate|info>"
+               "usage: ltefp "
+               "<collect|record|replay|stream|inspect|train|classify|history|correlate|info>"
                " [--threads N] [--flag value]...\n"
-               "  --threads N  worker threads for collection/training/replay (default:\n"
-               "               LTEFP_THREADS env var, else hardware; results are\n"
-               "               bit-identical at any thread count)\n"
+               "  --threads N  worker threads for collection/training/replay/stream\n"
+               "               (default: LTEFP_THREADS env var, else hardware; results\n"
+               "               are bit-identical at any thread count)\n"
                "  collect   --app A --operator O --minutes M --seed S --out F\n"
                "  record    --operator O --traces N --minutes M --seed S --day D --out DIR\n"
-               "  replay    --corpus DIR [--seed S]\n"
+               "  replay    --corpus DIR [--seed S] [--speed N  (load generator)]\n"
+               "  stream    --corpus DIR --model F [--speed N] [--batch-ms B] [--out F]\n"
+               "            [--latency-report true] [--window-verdicts false]\n"
                "  inspect   --corpus DIR [--verify true] | --trace F.ltt\n"
                "  train     --operator O --traces N --minutes M --seed S --out F\n"
                "  classify  --model F --trace F [--window-ms W]\n"
@@ -351,6 +479,7 @@ int main(int argc, char** argv) {
     if (command == "collect") return cmd_collect(args);
     if (command == "record") return cmd_record(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "stream") return cmd_stream(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "train") return cmd_train(args);
     if (command == "classify") return cmd_classify(args);
